@@ -1,0 +1,66 @@
+"""Extension: gradient compression combined with Sync-Switch.
+
+The paper's related work (Section VII) marks TernGrad/QSGD-style
+gradient compression as orthogonal work that "might be combined with
+Sync-Switch to achieve further training speedup".  This benchmark
+exercises that combination: the P1 switching plan with dense, ternary
+and QSGD-compressed ASP phases.  Expected shape: compressed variants
+finish faster (smaller pushes) at near-identical accuracy (unbiased
+quantization adds modest gradient variance).
+"""
+
+from repro.experiments.aggregate import accuracy_stats, time_stats
+from repro.experiments.reporting import Report
+from repro.experiments.setups import SETUPS
+
+
+def _compression_report(runner) -> Report:
+    setup = SETUPS[1]
+    rows = []
+    for compression in ("dense", "ternary", "qsgd"):
+        spec = {
+            "kind": "custom_static",
+            "protocol": "asp",
+            "steps_scale": 0.5,
+        }
+        if compression != "dense":
+            spec["options"] = {"compression": compression}
+        runs = runner.run_many(setup, spec)
+        stats = accuracy_stats(runs) | time_stats(runs)
+        throughputs = [
+            run.segment_throughput("asp") for run in runs if not run.diverged
+        ]
+        rows.append(
+            {
+                "compression": compression,
+                "accuracy": stats["accuracy_mean"],
+                "time_s": stats["time_mean"],
+                "imgs_per_s": (
+                    sum(t for t in throughputs if t) / len(throughputs)
+                    if throughputs
+                    else None
+                ),
+                "diverged": stats["diverged"],
+            }
+        )
+    return Report(
+        ident="Extension: compression",
+        title="Gradient compression in the ASP phase (setup 1)",
+        columns=["compression", "accuracy", "time_s", "imgs_per_s", "diverged"],
+        rows=rows,
+        notes=[
+            "TernGrad/QSGD quantization is unbiased: accuracy holds while "
+            "communication (and hence ASP cycle time) shrinks",
+            "paper Section VII: orthogonal techniques that can combine "
+            "with Sync-Switch",
+        ],
+    )
+
+
+def bench_ext_compression(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        _compression_report, args=(runner,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    emit(report, "ext_compression")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 2.
+
+Benefits of synchronization switching: BSP vs ASP vs 25%/50% switching
+on setup 1 (accuracy + total training time).
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_2
+
+
+def bench_fig02_motivation(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_2, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig02_motivation")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 4(a).
+
+BSP vs ASP steady-state throughput across all three setups, no injected
+stragglers.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_4a
+
+
+def bench_fig04a_throughput(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_4a, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig04a_throughput")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 4(b).
+
+BSP vs ASP throughput under {0,1,2} stragglers with 10/30 ms emulated
+network latency (setup 1).
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_4b
+
+
+def bench_fig04b_throughput_stragglers(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_4b, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig04b_throughput_stragglers")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 5(a).
+
+Order of synchronicity: BSP, BSP->ASP, ASP->BSP, ASP converged accuracy
+(setup 1, 50/50 split).
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_5a
+
+
+def bench_fig05a_order(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_5a, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig05a_order")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 5(b).
+
+Converged accuracy vs percentage of BSP training: the knee curve behind
+the timing policy (setup 1).
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_5b
+
+
+def bench_fig05b_knee(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_5b, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig05b_knee")
+    assert report.rows, "artifact produced no measured rows"

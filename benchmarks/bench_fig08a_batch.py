@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 8(a).
+
+Batch-size scaling after the switch: ASP throughput with per-worker
+batch 1024 vs 128.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_8a
+
+
+def bench_fig08a_batch(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_8a, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig08a_batch")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 8(b).
+
+Momentum handling after the switch: baseline vs zero vs 1/n vs
+linear/nonlinear ramps.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_8b
+
+
+def bench_fig08b_momentum(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_8b, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig08b_momentum")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 10.
+
+End-to-end normalized training time and converged accuracy for
+BSP/ASP/Sync-Switch across all setups.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_10
+
+
+def bench_fig10_end_to_end(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_10, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig10_end_to_end")
+    assert report.rows, "artifact produced no measured rows"

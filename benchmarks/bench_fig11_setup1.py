@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 11.
+
+Setup 1 detail: accuracy, time and final loss per switch timing {0,
+3.125, 6.25, 12.5, 25, 50, 100}%.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_11
+
+
+def bench_fig11_setup1(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_11, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig11_setup1")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 12.
+
+Setup 2 detail (ResNet50/CIFAR-100): accuracy, time and final loss per
+switch timing.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_12
+
+
+def bench_fig12_setup2(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_12, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig12_setup2")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 13.
+
+Setup 3 detail (16 workers): divergence of ASP / early switches,
+survival of the 50% policy.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_13
+
+
+def bench_fig13_setup3(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_13, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig13_setup3")
+    assert report.rows, "artifact produced no measured rows"

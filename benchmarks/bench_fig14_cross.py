@@ -1,0 +1,19 @@
+"""Regenerates the paper's Figure 14.
+
+Cross-examination: applying each setup's policy to every other setup.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_14
+
+
+def bench_fig14_cross(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_14, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig14_cross")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 15.
+
+Online straggler policies (baseline/greedy/elastic) under the mild and
+moderate transient-straggler scenarios.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_15
+
+
+def bench_fig15_stragglers(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_15, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig15_stragglers")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Figure 16.
+
+Search cost vs attempts per setting for recurring / bn=n / bn=1
+strategies across all setups.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import figure_16
+
+
+def bench_fig16_search_tradeoff(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        figure_16, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "fig16_search_tradeoff")
+    assert report.rows, "artifact produced no measured rows"

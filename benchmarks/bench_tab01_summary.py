@@ -1,0 +1,19 @@
+"""Regenerates the paper's Table I.
+
+Setups, timing policies, and throughput/TTA speedups vs BSP and ASP.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import table_1
+
+
+def bench_tab01_summary(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        table_1, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "tab01_summary")
+    assert report.rows, "artifact produced no measured rows"

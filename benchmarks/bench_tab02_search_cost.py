@@ -1,0 +1,20 @@
+"""Regenerates the paper's Table II.
+
+Binary-search cost analysis: selected settings across the three setups
+(1000 Monte-Carlo searches each).
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import table_2
+
+
+def bench_tab02_search_cost(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        table_2, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "tab02_search_cost")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,20 @@
+"""Regenerates the paper's Table III.
+
+Initialization and protocol-switch overhead, sequential vs parallel
+actuators, 8/16 workers.
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import table_3
+
+
+def bench_tab03_overhead(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        table_3, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "tab03_overhead")
+    assert report.rows, "artifact produced no measured rows"

@@ -1,0 +1,19 @@
+"""Regenerates the paper's Table V.
+
+Full search cost/performance analysis for setup 2 (14 settings).
+
+The benchmark measures one artifact regeneration (single pedantic
+round): cold-cache cost on the first pass, replay-from-logs cost
+afterwards.  Underlying training runs come from the shared cached
+runner (see conftest).
+"""
+
+from repro.experiments import table_5
+
+
+def bench_tab05_search_full_setup2(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        table_5, args=(runner,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(report, "tab05_search_full_setup2")
+    assert report.rows, "artifact produced no measured rows"

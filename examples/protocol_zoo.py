@@ -1,0 +1,71 @@
+"""Protocol zoo: BSP, ASP, SSP, DSSP and hybrid switching plans.
+
+Sync-Switch is agnostic to the underlying synchronization protocols
+(paper Section VI): any precise->fast pair can be switched.  This
+example trains the same workload under every engine and under two
+switching plans (the paper's BSP->ASP and the protocol-agnostic
+SSP->ASP), comparing accuracy, time and realized gradient staleness.
+
+Usage::
+
+    python examples/protocol_zoo.py [scale]
+"""
+
+import sys
+
+from repro.distsim import (
+    ClusterSpec,
+    DistributedTrainer,
+    Segment,
+    TrainingPlan,
+)
+from repro.experiments.setups import SETUPS, scaled_job
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.03
+    setup = SETUPS[1]
+    job = scaled_job(setup, scale, seed=0)
+    spec = ClusterSpec(n_workers=setup.n_workers)
+    print(f"workload: {setup.workload}, {job.total_steps} steps\n")
+
+    plans = [
+        ("BSP", TrainingPlan.static("bsp")),
+        ("ASP", TrainingPlan.static("asp")),
+        ("SSP (bound 3)", TrainingPlan.static("ssp", staleness_bound=3)),
+        ("DSSP (2..8)", TrainingPlan.static("dssp", lower_bound=2, upper_bound=8)),
+        ("BSP->ASP 6.25%", TrainingPlan.switch_at(0.0625)),
+        (
+            "SSP->ASP 6.25%",
+            TrainingPlan(
+                (
+                    Segment("ssp", 0.0625, {"staleness_bound": 1}),
+                    Segment("asp", 0.9375),
+                )
+            ),
+        ),
+    ]
+    print(
+        f"{'plan':16s} {'accuracy':>9s} {'time':>8s} {'img/s':>7s} "
+        f"{'stale mean':>10s} {'stale p95':>9s}"
+    )
+    for label, plan in plans:
+        trainer = DistributedTrainer(job, spec)
+        result = trainer.run(plan)
+        accuracy = (
+            "DIVERGED" if result.diverged else f"{result.reported_accuracy:.4f}"
+        )
+        print(
+            f"{label:16s} {accuracy:>9s} {result.total_time:>7.0f}s "
+            f"{result.throughput:>7.0f} {result.staleness['mean']:>10.2f} "
+            f"{result.staleness['p95']:>9.0f}"
+        )
+    print(
+        "\nexpected shape: ASP fastest but least accurate; SSP/DSSP between "
+        "BSP and ASP; both switching plans match BSP accuracy at near-ASP "
+        "time."
+    )
+
+
+if __name__ == "__main__":
+    main()

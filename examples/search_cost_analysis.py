@@ -1,0 +1,63 @@
+"""Search-cost analysis: when does the offline search pay for itself?
+
+Reproduces the reasoning behind the paper's Tables II/IV-VI and Fig. 16
+on live simulator logs: profile a workload's switch-timing sweep, then
+Monte-Carlo-replay Algorithm 1 under different search settings and
+report cost, amortization, effective training and success probability.
+
+Usage::
+
+    python examples/search_cost_analysis.py [scale] [n_simulations]
+"""
+
+import sys
+
+from repro.core.search import SearchSetting
+from repro.experiments import ExperimentRunner
+from repro.experiments.search_analysis import cost_simulator
+from repro.experiments.setups import SETUPS
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    n_simulations = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+    setup = SETUPS[1]
+    runner = ExperimentRunner(scale=scale, seeds=3)
+
+    print(f"profiling {setup.describe()} at scale {scale} "
+          f"(sweep: {setup.sweep_percents})...")
+    simulator = cost_simulator(runner, setup)
+    print(
+        f"ground-truth switch timing: "
+        f"{simulator.ground_truth_fraction * 100:g}%\n"
+    )
+
+    settings = [
+        SearchSetting(False, 5, 5),
+        SearchSetting(False, 3, 3),
+        SearchSetting(False, 1, 1),
+        SearchSetting(True, 0, 3),
+        SearchSetting(True, 0, 1),
+    ]
+    header = (
+        f"{'setting':>14s} {'cost':>8s} {'amortized':>10s} "
+        f"{'effective':>10s} {'success':>8s}"
+    )
+    print(header)
+    for setting in settings:
+        report = simulator.simulate(setting, n_simulations=n_simulations)
+        print(
+            f"{setting.label():>14s} {report.search_cost_x:>7.2f}X "
+            f"{report.amortization_recurrences:>10.1f} "
+            f"{report.effective_training_x:>9.2f}X "
+            f"{report.success_probability * 100:>7.1f}%"
+        )
+    print(
+        "\nreading: recurring jobs (Yes, 0, r) skip the BSP target runs "
+        "and amortize fastest; single-run settings are cheap but risk "
+        "missing the ground-truth timing."
+    )
+
+
+if __name__ == "__main__":
+    main()

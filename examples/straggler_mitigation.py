@@ -1,0 +1,61 @@
+"""Transient stragglers: baseline vs greedy vs elastic online policies.
+
+Reproduces the paper's Fig. 15 scenario on the simulator: transient
+stragglers (emulated network latency on a subset of workers) hit the
+BSP phase of a Sync-Switch job.  The greedy policy rides out the
+slowdown in ASP (cheap, but pre-knee ASP exposure costs accuracy); the
+elastic policy evicts the straggler and finishes the BSP budget clean.
+
+Usage::
+
+    python examples/straggler_mitigation.py [scale]
+"""
+
+import sys
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.setups import SETUPS
+from repro.experiments.straggler_fig import STRAGGLER_SCENARIOS
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.03
+    setup = SETUPS[1]
+    runner = ExperimentRunner(scale=scale, seeds=2)
+    scenario = STRAGGLER_SCENARIOS[2]
+    print(
+        f"scenario: {scenario['n']} stragglers x {scenario['occurrences']} "
+        f"occurrences, {scenario['latency'] * 1000:.0f} ms emulated latency\n"
+    )
+
+    rows = []
+    baseline_time = None
+    for policy in ("baseline", "greedy", "elastic"):
+        spec = {
+            "kind": "switch",
+            "percent": setup.policy_percent,
+            "stragglers": scenario,
+            "ambient": False,
+        }
+        if policy != "baseline":
+            spec["online"] = policy
+        runs = runner.run_many(setup, spec)
+        accuracy = sum(
+            run.reported_accuracy for run in runs if not run.diverged
+        ) / max(sum(1 for run in runs if not run.diverged), 1)
+        time = sum(run.total_time for run in runs) / len(runs)
+        if policy == "baseline":
+            baseline_time = time
+        rows.append((policy, accuracy, time, time / baseline_time))
+
+    print(f"{'policy':10s} {'accuracy':>9s} {'sim time':>9s} {'vs baseline':>12s}")
+    for policy, accuracy, time, ratio in rows:
+        print(f"{policy:10s} {accuracy:>9.4f} {time:>8.0f}s {ratio:>11.3f}x")
+    print(
+        "\npaper: elastic preserves accuracy with a 1.11X speedup; greedy "
+        "loses ~2% accuracy from extra pre-knee ASP exposure."
+    )
+
+
+if __name__ == "__main__":
+    main()

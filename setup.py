@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so editable
+installs must go through ``setup.py develop``.  All metadata lives in
+``pyproject.toml``; this file only hands control to setuptools.
+"""
+
+from setuptools import setup
+
+setup()

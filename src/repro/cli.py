@@ -1,0 +1,150 @@
+"""Command-line interface: ``sync-switch``.
+
+The paper's users "manage their distributed training jobs via the
+command line" (Section V); this CLI exposes the same workflows on the
+simulator:
+
+* ``sync-switch run`` — train one job under a policy.
+* ``sync-switch search`` — offline binary search for the switch timing.
+* ``sync-switch report`` — regenerate a paper table or figure.
+* ``sync-switch list`` — show setups and available artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.search import OfflineTimingSearch, SearchConfig
+from repro.experiments import (
+    ARTIFACTS,
+    SETUPS,
+    ExperimentRunner,
+    render_report,
+)
+from repro.experiments.setups import scaled_job
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``sync-switch`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="sync-switch",
+        description="Sync-Switch hybrid-synchronization reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="train one job under a policy")
+    run.add_argument("--setup", type=int, default=1, choices=sorted(SETUPS))
+    run.add_argument(
+        "--percent",
+        type=float,
+        default=None,
+        help="BSP percentage before switching (default: the setup's policy)",
+    )
+    run.add_argument("--scale", type=float, default=0.02)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--online", choices=("greedy", "elastic"), default=None
+    )
+
+    search = sub.add_parser(
+        "search", help="offline binary search for the switch timing"
+    )
+    search.add_argument("--setup", type=int, default=1, choices=sorted(SETUPS))
+    search.add_argument("--scale", type=float, default=0.02)
+    search.add_argument("--runs", type=int, default=2)
+    search.add_argument("--beta", type=float, default=0.01)
+
+    report = sub.add_parser("report", help="regenerate a paper artifact")
+    report.add_argument("artifact", choices=sorted(ARTIFACTS))
+    report.add_argument("--scale", type=float, default=None)
+    report.add_argument("--seeds", type=int, default=None)
+
+    sub.add_parser("list", help="show setups and artifacts")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    setup = SETUPS[args.setup]
+    percent = args.percent if args.percent is not None else setup.policy_percent
+    runner = ExperimentRunner(scale=args.scale, seeds=1)
+    spec: dict = {"kind": "switch", "percent": percent}
+    if args.online:
+        spec["online"] = args.online
+        spec["stragglers"] = {"n": 1, "occurrences": 1, "latency": 0.030}
+        spec["ambient"] = False
+    result = runner.run(setup, spec, args.seed)
+    print(f"setup     : {setup.describe()}")
+    print(f"plan      : {result.plan}")
+    print(f"accuracy  : {result.reported_accuracy}")
+    print(f"time      : {result.total_time:.1f} simulated seconds")
+    print(f"throughput: {result.throughput:.0f} images/s")
+    print(f"diverged  : {result.diverged}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    setup = SETUPS[args.setup]
+    runner = ExperimentRunner(scale=args.scale, seeds=args.runs)
+
+    def trial(fraction: float, run_index: int):
+        result = runner.run(
+            setup,
+            {"kind": "switch", "percent": fraction * 100.0},
+            run_index,
+        )
+        accuracy = 0.0 if result.diverged else (result.reported_accuracy or 0.0)
+        return accuracy, result.total_time
+
+    config = SearchConfig(
+        beta=args.beta,
+        max_settings=setup.search_max_settings,
+        runs_per_setting=args.runs,
+        bsp_runs=args.runs,
+    )
+    outcome = OfflineTimingSearch(trial, config).search()
+    print(f"setup            : {setup.describe()}")
+    print(f"found switch     : {outcome.switch_percent:g}%")
+    print(f"target accuracy  : {outcome.target_accuracy:.4f}")
+    print(f"sessions trained : {outcome.n_sessions}")
+    print(f"search time      : {outcome.search_time:.0f} simulated seconds")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    runner = ExperimentRunner(scale=args.scale, seeds=args.seeds)
+    report = ARTIFACTS[args.artifact](runner)
+    print(render_report(report))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("experiment setups:")
+    for index in sorted(SETUPS):
+        setup = SETUPS[index]
+        job = scaled_job(setup, 1.0, 0)
+        print(
+            f"  {index}: {setup.describe()} "
+            f"({job.total_steps} steps at scale 1, policy "
+            f"{setup.policy_percent:g}%)"
+        )
+    print("artifacts:", ", ".join(sorted(ARTIFACTS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "search": _cmd_search,
+        "report": _cmd_report,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Sync-Switch: the paper's contribution.
+
+``repro.core.policies``
+    Protocol order (BSP then ASP), switch-timing, hyper-parameter
+    configuration, and online straggler policies.
+
+``repro.core.runtime``
+    The system half of Fig. 9: profiler, straggler detector,
+    checkpoint store, configuration actuators, per-node hook manager
+    and the :class:`~repro.core.runtime.controller.SyncSwitchController`
+    that ties policies to the execution substrate.
+
+``repro.core.search``
+    The offline binary-search timing algorithm (Algorithm 1) and the
+    Monte-Carlo search-cost simulator behind Tables II/IV-VI and
+    Fig. 16.
+"""
+
+from repro.core.policies import (
+    ConfigurationPolicy,
+    ElasticPolicy,
+    GreedyPolicy,
+    PolicyManager,
+    ProtocolPolicy,
+    TimingPolicy,
+)
+from repro.core.runtime import (
+    CheckpointStore,
+    HookManager,
+    ParallelActuator,
+    SequentialActuator,
+    StragglerDetector,
+    SyncSwitchController,
+    ThroughputProfiler,
+)
+from repro.core.search import (
+    OfflineTimingSearch,
+    SearchCostSimulator,
+    SearchSetting,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "ConfigurationPolicy",
+    "ElasticPolicy",
+    "GreedyPolicy",
+    "HookManager",
+    "OfflineTimingSearch",
+    "ParallelActuator",
+    "PolicyManager",
+    "ProtocolPolicy",
+    "SearchCostSimulator",
+    "SearchSetting",
+    "SequentialActuator",
+    "StragglerDetector",
+    "SyncSwitchController",
+    "ThroughputProfiler",
+    "TimingPolicy",
+]

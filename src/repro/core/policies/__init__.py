@@ -1,0 +1,24 @@
+"""Sync-Switch policy objects (protocol, timing, configuration, straggler)."""
+
+from repro.core.policies.config import ConfigurationPolicy, MOMENTUM_MODES
+from repro.core.policies.manager import PolicyManager
+from repro.core.policies.protocol import ProtocolPolicy
+from repro.core.policies.straggler import (
+    BaselinePolicy,
+    ElasticPolicy,
+    GreedyPolicy,
+    StragglerPolicy,
+)
+from repro.core.policies.timing import TimingPolicy
+
+__all__ = [
+    "MOMENTUM_MODES",
+    "BaselinePolicy",
+    "ConfigurationPolicy",
+    "ElasticPolicy",
+    "GreedyPolicy",
+    "PolicyManager",
+    "ProtocolPolicy",
+    "StragglerPolicy",
+    "TimingPolicy",
+]

@@ -1,0 +1,75 @@
+"""Protocol policy: which synchronization protocols, in what order.
+
+Paper Section IV-A: start with BSP (the precise protocol) and switch to
+ASP (the fast one).  The empirical analysis (Fig. 5a) and theoretical
+explanation (Fig. 6/7, Remarks A.1-A.3) both show the reverse order is
+harmful: stale gradients early in training — when gradients are large
+and the learning rate is high — destabilise the run, and time spent in
+early ASP is wasted even if BSP follows.
+
+Sync-Switch is agnostic to the concrete protocols (Section VI), so the
+policy accepts any precise->fast pair drawn from the engine registry
+(e.g. SSP->ASP), defaulting to the paper's BSP->ASP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProtocolPolicy"]
+
+#: Protocols ordered from most precise to most asynchronous.
+_PRECISION_ORDER = ("bsp", "ssp", "dssp", "asp")
+
+
+@dataclass(frozen=True)
+class ProtocolPolicy:
+    """The ordered protocol pair used by a switching plan."""
+
+    first: str = "bsp"
+    second: str = "asp"
+
+    def __post_init__(self):
+        for protocol in (self.first, self.second):
+            if protocol not in _PRECISION_ORDER:
+                raise ConfigurationError(
+                    f"unknown protocol {protocol!r}; known: {_PRECISION_ORDER}"
+                )
+        if self.first == self.second:
+            raise ConfigurationError(
+                "protocol policy needs two distinct protocols"
+            )
+        if not self.follows_paper_order():
+            raise ConfigurationError(
+                f"{self.first}->{self.second} runs the less precise protocol "
+                "first; the paper's protocol policy (Section IV-A, Remark "
+                "A.3) requires the more precise protocol early in training. "
+                "Use allow_reversed() only for ablation studies."
+            )
+
+    def follows_paper_order(self) -> bool:
+        """True when ``first`` is more precise than ``second``."""
+        return _PRECISION_ORDER.index(self.first) < _PRECISION_ORDER.index(
+            self.second
+        )
+
+    @classmethod
+    def allow_reversed(cls, first: str, second: str) -> "ProtocolPolicy":
+        """Escape hatch for the ASP->BSP ablation (Fig. 5a).
+
+        Bypasses the precision-order validation so the harness can
+        reproduce the paper's negative result.
+        """
+        policy = object.__new__(cls)
+        object.__setattr__(policy, "first", first)
+        object.__setattr__(policy, "second", second)
+        return policy
+
+    @staticmethod
+    def precision_rank(protocol: str) -> int:
+        """Lower rank = more precise synchronization."""
+        if protocol not in _PRECISION_ORDER:
+            raise ConfigurationError(f"unknown protocol {protocol!r}")
+        return _PRECISION_ORDER.index(protocol)

@@ -1,0 +1,64 @@
+"""Online straggler policies (paper Section IV-B2).
+
+Both policies only need to act *before* the switch point: once training
+runs ASP it is considered immune to transient stragglers.
+
+* :class:`GreedyPolicy` — on detection, switch to ASP immediately; once
+  the cluster is clear (and the BSP budget is not yet met) switch back
+  to BSP.  Each round trip costs two protocol switches, and the extra
+  early-ASP exposure costs accuracy — the paper measures a ~2% drop and
+  concludes greedy composes poorly with the offline policy.
+* :class:`ElasticPolicy` — on detection, evict the straggler and keep
+  training BSP with the remaining workers (the configuration policy
+  keeps per-worker batch ``B`` and rescales the learning rate to the
+  active cluster size); once the BSP budget is fulfilled, restore the
+  cluster and switch to ASP.  This preserves accuracy and yields ~1.1x
+  speedup under moderate slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StragglerPolicy", "GreedyPolicy", "ElasticPolicy"]
+
+
+@dataclass(frozen=True)
+class StragglerPolicy:
+    """Base class: shared detector parameters.
+
+    ``detection_windows`` is the number of consecutive windows a worker
+    must under-perform (``S_k < mean - std``) before it is flagged;
+    ``clear_windows`` is the number of consecutive clean observations
+    before the cluster is considered straggler-free again.
+    """
+
+    detection_windows: int = 3
+    clear_windows: int = 5
+
+    name = "baseline"
+
+    def reacts_online(self) -> bool:
+        """Whether this policy intervenes during training."""
+        return self.name != "baseline"
+
+
+@dataclass(frozen=True)
+class BaselinePolicy(StragglerPolicy):
+    """Straggler-agnostic: run the offline plan unchanged."""
+
+    name = "baseline"
+
+
+@dataclass(frozen=True)
+class GreedyPolicy(StragglerPolicy):
+    """Switch to ASP while a transient straggler is present."""
+
+    name = "greedy"
+
+
+@dataclass(frozen=True)
+class ElasticPolicy(StragglerPolicy):
+    """Evict stragglers during BSP; restore the cluster for ASP."""
+
+    name = "elastic"

@@ -1,0 +1,77 @@
+"""Timing policy: when to switch from the first protocol to the second.
+
+The offline timing policy is a single number — the fraction of the step
+budget trained with the precise protocol before switching (paper
+Table I: 6.25% / 12.5% / 50% for the three setups).  It is found by the
+offline binary search (:mod:`repro.core.search.binary_search`) for new
+jobs and reused directly for recurring ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies.config import ConfigurationPolicy
+from repro.core.policies.protocol import ProtocolPolicy
+from repro.distsim.job import JobConfig, Segment, TrainingPlan
+from repro.errors import ConfigurationError
+
+__all__ = ["TimingPolicy"]
+
+
+@dataclass(frozen=True)
+class TimingPolicy:
+    """Switch point plus provenance."""
+
+    switch_fraction: float
+    source: str = "manual"
+
+    def __post_init__(self):
+        if not 0.0 <= self.switch_fraction <= 1.0:
+            raise ConfigurationError("switch_fraction must be in [0, 1]")
+
+    @property
+    def switch_percent(self) -> float:
+        """Switch point in percent (paper notation)."""
+        return self.switch_fraction * 100.0
+
+    def switch_step(self, total_steps: int) -> int:
+        """Absolute step at which the switch happens."""
+        return int(round(self.switch_fraction * total_steps))
+
+    def build_plan(
+        self,
+        job: JobConfig,
+        n_workers: int,
+        protocol_policy: ProtocolPolicy | None = None,
+        config_policy: ConfigurationPolicy | None = None,
+    ) -> TrainingPlan:
+        """Materialise the two-phase plan with configured hyper-parameters."""
+        protocol_policy = protocol_policy or ProtocolPolicy()
+        config_policy = config_policy or ConfigurationPolicy()
+        first_options = config_policy.options_for(
+            protocol_policy.first, job, n_workers
+        )
+        second_options = config_policy.options_for(
+            protocol_policy.second, job, n_workers
+        )
+        if self.switch_fraction == 0.0:
+            return TrainingPlan(
+                (Segment(protocol_policy.second, 1.0, second_options),)
+            )
+        if self.switch_fraction == 1.0:
+            return TrainingPlan(
+                (Segment(protocol_policy.first, 1.0, first_options),)
+            )
+        return TrainingPlan(
+            (
+                Segment(
+                    protocol_policy.first, self.switch_fraction, first_options
+                ),
+                Segment(
+                    protocol_policy.second,
+                    1.0 - self.switch_fraction,
+                    second_options,
+                ),
+            )
+        )

@@ -1,0 +1,21 @@
+"""Sync-Switch runtime: profiler, detector, checkpoints, actuators, hooks."""
+
+from repro.core.runtime.actuator import ParallelActuator, SequentialActuator
+from repro.core.runtime.checkpoint import Checkpoint, CheckpointStore
+from repro.core.runtime.controller import JobResult, SyncSwitchController
+from repro.core.runtime.detector import StragglerDetector
+from repro.core.runtime.hooks import HookManager, NodeHook
+from repro.core.runtime.profiler import ThroughputProfiler
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "HookManager",
+    "JobResult",
+    "NodeHook",
+    "ParallelActuator",
+    "SequentialActuator",
+    "StragglerDetector",
+    "SyncSwitchController",
+    "ThroughputProfiler",
+]

@@ -1,0 +1,83 @@
+"""Checkpoint store: persist and restore training progress.
+
+Sync-Switch's switch mechanism is built on the framework's
+checkpoint/restore functions (paper Section V): every protocol switch
+checkpoints model parameters, optimizer slots and progress counters,
+then relaunches tasks from the checkpoint under the new protocol.
+This store keeps those snapshots (in memory, exact to the bit) and
+records their bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distsim.engines.base import TrainingSession
+from repro.errors import ConfigurationError
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One immutable training snapshot."""
+
+    tag: str
+    step: int
+    sim_time: float
+    ps_state: dict
+
+    @property
+    def version(self) -> int:
+        """Parameter version at checkpoint time."""
+        return int(self.ps_state["version"])
+
+
+class CheckpointStore:
+    """Ordered collection of checkpoints with save/restore."""
+
+    def __init__(self, keep_last: int = 8):
+        if keep_last < 1:
+            raise ConfigurationError("keep_last must be >= 1")
+        self.keep_last = keep_last
+        self._checkpoints: list[Checkpoint] = []
+
+    def save(self, session: TrainingSession, tag: str) -> Checkpoint:
+        """Snapshot the session's numeric state."""
+        checkpoint = Checkpoint(
+            tag=tag,
+            step=session.step,
+            sim_time=session.clock.now,
+            ps_state=session.ps.state(),
+        )
+        self._checkpoints.append(checkpoint)
+        if len(self._checkpoints) > self.keep_last:
+            self._checkpoints.pop(0)
+        return checkpoint
+
+    def restore(
+        self, session: TrainingSession, checkpoint: Checkpoint | None = None
+    ) -> Checkpoint:
+        """Load a checkpoint (latest by default) into the session.
+
+        Restores parameters, optimizer slots and the step counter —
+        exactly what TensorFlow's saver restores.  Simulated time is
+        *not* rewound: restarting costs wall-clock, it does not undo it.
+        """
+        checkpoint = checkpoint or self.latest
+        if checkpoint is None:
+            raise ConfigurationError("no checkpoint to restore")
+        session.ps.load_state(checkpoint.ps_state)
+        session.step = checkpoint.step
+        return checkpoint
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        """Most recent checkpoint, if any."""
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def __iter__(self):
+        return iter(self._checkpoints)

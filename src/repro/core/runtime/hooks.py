@@ -1,0 +1,99 @@
+"""Per-node custom hook manager.
+
+Paper Section V: "Sync-Switch's custom hook manager is written as a
+core Python component to interact with TensorFlow runtime to collect
+internal metrics ... and to change hyper-parameters", listening "at a
+pre-specified port for incoming commands".
+
+The simulator's equivalent keeps one :class:`NodeHook` per cluster
+node, each with a command queue and a tiny state machine
+(``running -> checkpointing -> reconfiguring -> restarting -> running``);
+the :class:`HookManager` is the cluster-manager side that broadcasts
+commands and gathers metric reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NodeHook", "HookManager"]
+
+_TRANSITIONS = {
+    "checkpoint": ("running", "checkpointed"),
+    "reconfigure": ("checkpointed", "reconfigured"),
+    "restart": ("reconfigured", "running"),
+}
+
+
+@dataclass
+class NodeHook:
+    """One node's command listener and metric relay."""
+
+    node: int
+    state: str = "running"
+    config: dict = field(default_factory=dict)
+    commands: deque = field(default_factory=deque)
+    checkpoints_taken: int = 0
+    metrics_sent: int = 0
+
+    def enqueue(self, command: str, payload: dict) -> None:
+        """Receive a command on the listening port."""
+        if command not in _TRANSITIONS:
+            raise ConfigurationError(f"unknown hook command {command!r}")
+        self.commands.append((command, dict(payload)))
+
+    def process_all(self) -> None:
+        """Apply queued commands in arrival order."""
+        while self.commands:
+            command, payload = self.commands.popleft()
+            expected, nxt = _TRANSITIONS[command]
+            if self.state != expected:
+                raise ConfigurationError(
+                    f"node {self.node}: command {command!r} arrived in state "
+                    f"{self.state!r} (expected {expected!r})"
+                )
+            if command == "checkpoint":
+                self.checkpoints_taken += 1
+            elif command == "reconfigure":
+                self.config.update(payload)
+            self.state = nxt
+
+    def report_metric(self) -> int:
+        """Count one metric report to the profiler."""
+        self.metrics_sent += 1
+        return self.metrics_sent
+
+
+class HookManager:
+    """Cluster-manager side: broadcast commands, collect metrics."""
+
+    def __init__(self, n_nodes: int):
+        if n_nodes <= 0:
+            raise ConfigurationError("n_nodes must be positive")
+        self.hooks = [NodeHook(node) for node in range(n_nodes)]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of managed nodes."""
+        return len(self.hooks)
+
+    def broadcast(self, command: str, payload: dict) -> None:
+        """Send a command to every node hook."""
+        for hook in self.hooks:
+            hook.enqueue(command, payload)
+
+    def drain(self) -> None:
+        """Let every node process its queued commands."""
+        for hook in self.hooks:
+            hook.process_all()
+
+    def all_running(self) -> bool:
+        """Whether every node is back in the running state."""
+        return all(hook.state == "running" for hook in self.hooks)
+
+    def configs(self) -> list[dict]:
+        """Current per-node configurations."""
+        return [dict(hook.config) for hook in self.hooks]

@@ -1,0 +1,73 @@
+"""Job/task/worker profiler (paper Fig. 9).
+
+Continuously collects per-worker step durations from the engines'
+telemetry feed and maintains sliding-window throughput estimates, which
+are the input to the straggler detector (Section IV-B2: "we leverage
+the historical average training throughput to detect the stragglers").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ThroughputProfiler"]
+
+
+@dataclass
+class ThroughputProfiler:
+    """Sliding-window per-worker throughput (images/second).
+
+    ``window`` is the number of recent batches kept per worker;
+    ``batch_size`` converts durations into images/second.
+    """
+
+    batch_size: int
+    window: int = 5
+    _durations: dict[int, deque] = field(default_factory=dict)
+    _totals: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if self.window < 1:
+            raise ConfigurationError("window must be at least 1")
+
+    def observe(self, worker: int, duration: float) -> None:
+        """Record one batch duration for ``worker``."""
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        bucket = self._durations.setdefault(worker, deque(maxlen=self.window))
+        bucket.append(duration)
+        self._totals[worker] = self._totals.get(worker, 0) + 1
+
+    def throughput(self, worker: int) -> float | None:
+        """Sliding-window images/second for ``worker`` (None if unseen)."""
+        bucket = self._durations.get(worker)
+        if not bucket:
+            return None
+        return self.batch_size * len(bucket) / sum(bucket)
+
+    def throughputs(self) -> dict[int, float]:
+        """Current sliding-window throughput of every observed worker."""
+        return {
+            worker: throughput
+            for worker in self._durations
+            if (throughput := self.throughput(worker)) is not None
+        }
+
+    def observations(self, worker: int) -> int:
+        """Total batches observed for ``worker``."""
+        return self._totals.get(worker, 0)
+
+    def forget(self, worker: int) -> None:
+        """Drop a worker's history (after eviction)."""
+        self._durations.pop(worker, None)
+        self._totals.pop(worker, None)
+
+    def reset(self) -> None:
+        """Clear all history (after a protocol switch)."""
+        self._durations.clear()
+        self._totals.clear()

@@ -1,0 +1,25 @@
+"""Offline timing search (Algorithm 1) and its cost analysis."""
+
+from repro.core.search.binary_search import (
+    OfflineTimingSearch,
+    SearchConfig,
+    SearchResult,
+    TrialOutcome,
+)
+from repro.core.search.cost_model import (
+    ProfileModel,
+    SearchCostReport,
+    SearchCostSimulator,
+    SearchSetting,
+)
+
+__all__ = [
+    "OfflineTimingSearch",
+    "ProfileModel",
+    "SearchConfig",
+    "SearchCostReport",
+    "SearchCostSimulator",
+    "SearchResult",
+    "SearchSetting",
+    "TrialOutcome",
+]

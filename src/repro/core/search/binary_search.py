@@ -1,0 +1,151 @@
+"""Algorithm 1: binary search for the switch timing.
+
+Paper Appendix B.  Given a trial runner that trains with a candidate
+switch point and reports converged accuracy, the search halves the
+interval ``[lower, upper]`` (initially ``[0, 100]`` percent): a
+candidate whose mean accuracy lies within ``[A - beta, A + beta]`` of
+the target ``A`` becomes the new upper bound (it is "good enough", so
+try switching even earlier); otherwise it becomes the lower bound.
+After ``M`` explored settings the current upper bound is the policy.
+
+Two fidelity notes:
+
+* If no target accuracy is supplied, the model is first trained with
+  static BSP ``R`` times and ``A`` is the mean converged accuracy
+  (Algorithm 1 lines 2-5); those sessions count toward search cost.
+* The paper's pseudo-code never resets the accumulator ``alpha'``
+  between settings (lines 6-15); that is a transcription slip — the
+  mean test on line 16 only makes sense per setting — so this
+  implementation resets it for every candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SearchError
+
+__all__ = ["SearchConfig", "TrialOutcome", "SearchResult", "OfflineTimingSearch"]
+
+#: A trial runner trains one session at ``switch_fraction`` (0 = ASP,
+#: 1 = BSP) with the given repetition index and returns
+#: ``(converged_accuracy, total_time)``; diverged runs report accuracy
+#: 0.0 and the time until divergence.
+TrialRunner = Callable[[float, int], tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Inputs of Algorithm 1."""
+
+    beta: float = 0.01
+    max_settings: int = 5
+    runs_per_setting: int = 5
+    target_accuracy: float | None = None
+    bsp_runs: int = 5
+
+    def __post_init__(self):
+        if self.beta < 0:
+            raise SearchError("beta must be non-negative")
+        if self.max_settings < 1:
+            raise SearchError("max_settings must be >= 1")
+        if self.runs_per_setting < 1:
+            raise SearchError("runs_per_setting must be >= 1")
+        if self.target_accuracy is None and self.bsp_runs < 1:
+            raise SearchError(
+                "need either a target accuracy or at least one BSP run"
+            )
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One training session executed during the search."""
+
+    switch_fraction: float
+    run_index: int
+    accuracy: float
+    time: float
+    valid: bool
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one full search."""
+
+    switch_fraction: float
+    target_accuracy: float
+    trials: list[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def search_time(self) -> float:
+        """Total simulated time of every session trained while searching."""
+        return sum(trial.time for trial in self.trials)
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of sessions trained while searching."""
+        return len(self.trials)
+
+    @property
+    def valid_sessions(self) -> int:
+        """Sessions that produced a model at the target accuracy."""
+        return sum(1 for trial in self.trials if trial.valid)
+
+    @property
+    def switch_percent(self) -> float:
+        """Found switch point in percent (paper notation)."""
+        return self.switch_fraction * 100.0
+
+
+class OfflineTimingSearch:
+    """Algorithm 1 driver over an arbitrary trial runner."""
+
+    def __init__(self, trial_runner: TrialRunner, config: SearchConfig):
+        self.trial_runner = trial_runner
+        self.config = config
+
+    def search(self) -> SearchResult:
+        """Run the binary search and return the found timing policy."""
+        config = self.config
+        trials: list[TrialOutcome] = []
+        target = config.target_accuracy
+        if target is None:
+            accuracies = []
+            for run in range(config.bsp_runs):
+                accuracy, time = self.trial_runner(1.0, run)
+                accuracies.append(accuracy)
+                trials.append(
+                    TrialOutcome(1.0, run, accuracy, time, valid=True)
+                )
+            target = sum(accuracies) / len(accuracies)
+
+        upper, lower = 1.0, 0.0
+        for _ in range(config.max_settings):
+            candidate = (upper + lower) / 2.0
+            mean_accuracy = 0.0
+            candidate_trials = []
+            for run in range(config.runs_per_setting):
+                accuracy, time = self.trial_runner(candidate, run)
+                mean_accuracy += accuracy
+                candidate_trials.append((run, accuracy, time))
+            mean_accuracy /= config.runs_per_setting
+            good = abs(mean_accuracy - target) <= config.beta
+            for run, accuracy, time in candidate_trials:
+                trials.append(
+                    TrialOutcome(
+                        candidate,
+                        run,
+                        accuracy,
+                        time,
+                        valid=abs(accuracy - target) <= config.beta,
+                    )
+                )
+            if good:
+                upper = candidate
+            else:
+                lower = candidate
+
+        result = SearchResult(switch_fraction=upper, target_accuracy=target)
+        result.trials = trials
+        return result

@@ -1,0 +1,63 @@
+"""Discrete-event simulator of a parameter-server GPU cluster.
+
+This subpackage replaces the paper's Google-Cloud testbed.  It has two
+halves that the execution engines tie together:
+
+* a *timing* half — per-worker compute-time distributions, barrier
+  costs, parameter-server service times and straggler injection, which
+  produce the simulated clock, throughput and overhead numbers; and
+* a *numeric* half — the sharded parameter server holds a real model
+  parameter vector, and every simulated gradient push applies a real
+  gradient (computed at the parameter version the worker actually
+  pulled), so staleness genuinely affects convergence.
+"""
+
+from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.distsim.engines import (
+    ASPEngine,
+    BSPEngine,
+    DSSPEngine,
+    SSPEngine,
+    make_engine,
+)
+from repro.distsim.events import EventQueue, SimClock
+from repro.distsim.parameter_server import ShardedParameterServer
+from repro.distsim.stragglers import (
+    StragglerEvent,
+    StragglerSchedule,
+    ambient_contention,
+    transient_scenario,
+)
+from repro.distsim.telemetry import TrainingResult, TrainingTelemetry
+from repro.distsim.timing import TimingModel, timing_for
+from repro.distsim.trainer import (
+    DistributedTrainer,
+    JobConfig,
+    Segment,
+    TrainingPlan,
+)
+
+__all__ = [
+    "ASPEngine",
+    "BSPEngine",
+    "Cluster",
+    "ClusterSpec",
+    "DSSPEngine",
+    "DistributedTrainer",
+    "EventQueue",
+    "JobConfig",
+    "SSPEngine",
+    "Segment",
+    "ShardedParameterServer",
+    "SimClock",
+    "StragglerEvent",
+    "StragglerSchedule",
+    "TimingModel",
+    "TrainingPlan",
+    "TrainingResult",
+    "TrainingTelemetry",
+    "ambient_contention",
+    "make_engine",
+    "timing_for",
+    "transient_scenario",
+]

@@ -1,0 +1,86 @@
+"""Cluster specification and membership (with elastic resizing).
+
+The paper collocates one parameter server and one worker per VM
+(Section II-A), so a "cluster of n" means n PS shards and n workers.
+The elastic straggler policy (Section IV-B2) temporarily evicts
+workers and later restores them; this module tracks that membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError, ConfigurationError
+
+__all__ = ["ClusterSpec", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of the training cluster."""
+
+    n_workers: int
+    gpu: str = "k80"
+    region: str = "us-west1"
+
+    def __post_init__(self):
+        if self.n_workers <= 0:
+            raise ConfigurationError("n_workers must be positive")
+        if not self.gpu:
+            raise ConfigurationError("gpu type must be non-empty")
+
+    @property
+    def n_parameter_servers(self) -> int:
+        """PSs are collocated with workers, one per node."""
+        return self.n_workers
+
+
+@dataclass
+class Cluster:
+    """Mutable cluster membership on top of a :class:`ClusterSpec`."""
+
+    spec: ClusterSpec
+    _evicted: set[int] = field(default_factory=set)
+
+    @property
+    def all_workers(self) -> tuple[int, ...]:
+        """Every provisioned worker id, evicted or not."""
+        return tuple(range(self.spec.n_workers))
+
+    @property
+    def active_workers(self) -> tuple[int, ...]:
+        """Workers currently participating in training."""
+        return tuple(
+            worker
+            for worker in range(self.spec.n_workers)
+            if worker not in self._evicted
+        )
+
+    @property
+    def n_active(self) -> int:
+        """Number of participating workers."""
+        return self.spec.n_workers - len(self._evicted)
+
+    def evict(self, worker: int) -> None:
+        """Remove a worker from training (elastic straggler policy)."""
+        if worker not in self.all_workers:
+            raise ClusterError(f"worker {worker} does not exist")
+        if worker in self._evicted:
+            raise ClusterError(f"worker {worker} is already evicted")
+        if self.n_active <= 1:
+            raise ClusterError("cannot evict the last active worker")
+        self._evicted.add(worker)
+
+    def restore(self, worker: int) -> None:
+        """Return an evicted worker to the active set."""
+        if worker not in self._evicted:
+            raise ClusterError(f"worker {worker} is not evicted")
+        self._evicted.discard(worker)
+
+    def restore_all(self) -> None:
+        """Return every evicted worker (end of the elastic BSP phase)."""
+        self._evicted.clear()
+
+    def is_active(self, worker: int) -> bool:
+        """Whether ``worker`` currently participates."""
+        return worker in self.all_workers and worker not in self._evicted

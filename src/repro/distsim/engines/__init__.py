@@ -1,0 +1,34 @@
+"""Protocol execution engines (BSP / ASP / SSP / DSSP)."""
+
+from repro.distsim.engines.asp import ASPEngine
+from repro.distsim.engines.base import Engine, TrainingSession
+from repro.distsim.engines.bsp import BSPEngine
+from repro.distsim.engines.dssp import DSSPEngine
+from repro.distsim.engines.ssp import SSPEngine
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ASPEngine",
+    "BSPEngine",
+    "DSSPEngine",
+    "Engine",
+    "SSPEngine",
+    "TrainingSession",
+    "make_engine",
+]
+
+_ENGINES = {
+    "bsp": BSPEngine,
+    "asp": ASPEngine,
+    "ssp": SSPEngine,
+    "dssp": DSSPEngine,
+}
+
+
+def make_engine(protocol: str) -> Engine:
+    """Instantiate the engine for ``protocol`` (bsp/asp/ssp/dssp)."""
+    if protocol not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; known: {sorted(_ENGINES)}"
+        )
+    return _ENGINES[protocol]()

@@ -1,0 +1,196 @@
+"""Shared session state and the engine interface.
+
+A :class:`TrainingSession` owns everything engines need: the numeric
+state (model, dataset, sharded parameter server), the simulated clock,
+straggler schedule, telemetry, convergence tracking, per-worker RNG
+streams and learning-rate/momentum resolution.  Engines mutate the
+session; the trainer sequences engines over plan segments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.distsim.cluster import Cluster
+from repro.distsim.job import JobConfig
+from repro.distsim.parameter_server import ShardedParameterServer
+from repro.distsim.stragglers import StragglerSchedule
+from repro.distsim.telemetry import TrainingTelemetry
+from repro.distsim.timing import TimingModel
+from repro.errors import DivergenceError
+from repro.mlcore.datasets import SyntheticDataset
+from repro.mlcore.metrics import ConvergenceTracker
+from repro.mlcore.models import ResidualMLPClassifier
+from repro.mlcore.optim import MomentumSchedule, PiecewiseDecaySchedule
+from repro.distsim.events import SimClock
+from repro.rng import child_rng
+
+__all__ = ["TrainingSession", "Engine", "StopCondition"]
+
+#: Called after every update; returning a string stops the engine and
+#: surfaces the string as the stop reason.
+StopCondition = Callable[["TrainingSession"], str | None]
+
+
+class TrainingSession:
+    """All mutable state of one training run."""
+
+    def __init__(
+        self,
+        job: JobConfig,
+        model: ResidualMLPClassifier,
+        dataset: SyntheticDataset,
+        timing: TimingModel,
+        cluster: Cluster,
+        stragglers: StragglerSchedule | None = None,
+    ):
+        self.job = job
+        self.model = model
+        self.dataset = dataset
+        self.timing = timing
+        self.cluster = cluster
+        self.stragglers = stragglers or StragglerSchedule()
+        self.ps = ShardedParameterServer(
+            model.layout,
+            model.init_params(job.seed),
+            cluster.spec.n_parameter_servers,
+            momentum=job.momentum,
+        )
+        self.clock = SimClock()
+        self.telemetry = TrainingTelemetry()
+        self.tracker = ConvergenceTracker()
+        self.lr_schedule = PiecewiseDecaySchedule(job.base_lr)
+        self.step = 0
+        self.async_switch_step: int | None = None
+        self.momentum_schedule: MomentumSchedule | None = None
+        self.diverged = False
+        self.diverged_step: int | None = None
+        self._data_rngs = {
+            worker: child_rng(job.seed, f"data/{worker}")
+            for worker in cluster.all_workers
+        }
+        self._time_rngs = {
+            worker: child_rng(job.seed, f"time/{worker}")
+            for worker in cluster.all_workers
+        }
+        self._next_eval = 0
+        self._next_loss_log = 0
+        self._last_loss: float | None = None
+
+    # ------------------------------------------------------------------
+    # hyper-parameter resolution
+    # ------------------------------------------------------------------
+    @property
+    def fraction(self) -> float:
+        """Progress through the step budget, in [0, 1]."""
+        return min(self.step / self.job.total_steps, 1.0)
+
+    def base_lr_now(self) -> float:
+        """Per-worker learning rate at the current progress."""
+        return self.lr_schedule.lr_at(self.fraction)
+
+    def momentum_now(self) -> float:
+        """Momentum, honouring any post-switch ramp schedule."""
+        if self.momentum_schedule is None or self.async_switch_step is None:
+            return self.job.momentum
+        steps_after = max(self.step - self.async_switch_step, 0)
+        epochs_after = steps_after * self.job.batch_size / len(
+            self.dataset.y_train
+        )
+        return self.momentum_schedule.value(epochs_after)
+
+    # ------------------------------------------------------------------
+    # data access (each worker samples its own shard — data parallelism)
+    # ------------------------------------------------------------------
+    def worker_batch(
+        self, worker: int, batch_size: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One mini-batch from ``worker``'s shard of the training data."""
+        size = batch_size or self.job.batch_size
+        return self.dataset.shard_batch(
+            self._data_rngs[worker],
+            size,
+            shard=worker,
+            n_shards=self.cluster.spec.n_workers,
+        )
+
+    def global_batch(
+        self, workers: tuple[int, ...], batch_size: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated per-worker batches (a BSP round's global batch)."""
+        parts = [self.worker_batch(worker, batch_size) for worker in workers]
+        inputs = np.concatenate([x for x, _ in parts], axis=0)
+        labels = np.concatenate([y for _, y in parts], axis=0)
+        return inputs, labels
+
+    def time_rng(self, worker: int) -> np.random.Generator:
+        """The timing-noise stream of ``worker``."""
+        return self._time_rngs[worker]
+
+    # ------------------------------------------------------------------
+    # logging, evaluation, divergence
+    # ------------------------------------------------------------------
+    def after_update(self, loss: float) -> None:
+        """Bookkeeping shared by all engines after each applied update."""
+        self._last_loss = float(loss)
+        self.check_divergence(loss)
+        if self.step >= self._next_loss_log:
+            self.telemetry.record_loss(self.step, self.clock.now, loss)
+            self._next_loss_log = self.step + self.job.loss_log_every
+        if self.step >= self._next_eval:
+            self.evaluate_now()
+            self._next_eval = self.step + self.job.eval_every
+
+    def evaluate_now(self) -> float:
+        """Evaluate test accuracy immediately and record it."""
+        accuracy = self.model.evaluate(
+            self.ps.peek(), self.dataset.x_test, self.dataset.y_test
+        )
+        self.telemetry.record_eval(self.step, self.clock.now, accuracy)
+        self.tracker.update(self.clock.now, self.step, accuracy)
+        return accuracy
+
+    def check_divergence(self, loss: float) -> None:
+        """Raise :class:`DivergenceError` on loss blow-up (paper Fig. 13)."""
+        if not np.isfinite(loss) or loss > self.job.divergence_threshold:
+            self.diverged = True
+            self.diverged_step = self.step
+            raise DivergenceError(
+                f"training loss diverged at step {self.step} (loss={loss})",
+                step=self.step,
+            )
+
+    @property
+    def last_loss(self) -> float | None:
+        """Most recent mini-batch loss."""
+        return self._last_loss
+
+    def note_async_phase(self, momentum_schedule: MomentumSchedule | None) -> None:
+        """Mark the start of an asynchronous phase (for momentum ramps)."""
+        if self.async_switch_step is None:
+            self.async_switch_step = self.step
+        if momentum_schedule is not None:
+            self.momentum_schedule = momentum_schedule
+
+
+class Engine(Protocol):
+    """A protocol execution engine."""
+
+    name: str
+
+    def run(
+        self,
+        session: TrainingSession,
+        steps: int,
+        options: dict | None = None,
+        stop: StopCondition | None = None,
+    ) -> str:
+        """Advance the session by up to ``steps`` steps.
+
+        Returns ``"completed"`` when the step target was reached, or the
+        string produced by the ``stop`` condition when it fired first.
+        Raises :class:`~repro.errors.DivergenceError` on loss blow-up.
+        """
+        ...

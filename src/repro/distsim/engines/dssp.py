@@ -1,0 +1,78 @@
+"""Dynamic Stale Synchronous Parallel engine.
+
+DSSP (Zhao et al., ICDCS 2019 — the paper's reference [8]) generalises
+SSP by letting the staleness bound move inside a range
+``[lower_bound, upper_bound]`` at runtime.  This implementation uses a
+simple, documented adaptation rule rather than the original paper's
+full lookup-table scheme: every ``adapt_every`` pushes it measures how
+often workers were blocked at the SSP barrier; a high blocking rate
+relaxes the bound (towards throughput), a low one tightens it (towards
+freshness).  The behavioural envelope — throughput between SSP and ASP
+with bounded realized staleness — is what Sync-Switch's comparisons
+need.
+"""
+
+from __future__ import annotations
+
+from repro.distsim.engines.base import StopCondition, TrainingSession
+from repro.distsim.engines.ssp import SSPEngine
+
+__all__ = ["DSSPEngine"]
+
+
+class DSSPEngine:
+    """SSP with a dynamically adapted staleness bound."""
+
+    name = "dssp"
+
+    def __init__(self):
+        self._ssp = SSPEngine()
+
+    def run(
+        self,
+        session: TrainingSession,
+        steps: int,
+        options: dict | None = None,
+        stop: StopCondition | None = None,
+    ) -> str:
+        options = dict(options or {})
+        lower = int(options.pop("lower_bound", 2))
+        upper = int(options.pop("upper_bound", 8))
+        adapt_every = int(options.pop("adapt_every", 64))
+        if upper < lower:
+            lower, upper = upper, lower
+
+        bound = lower
+        remaining = steps
+        reason = "completed"
+        while remaining > 0:
+            chunk = min(adapt_every, remaining)
+            before_block = self._blocking_signal(session)
+            chunk_options = dict(options)
+            chunk_options["staleness_bound"] = bound
+            reason = self._ssp.run(session, chunk, chunk_options, stop)
+            remaining -= chunk
+            if reason != "completed":
+                return reason
+            after_block = self._blocking_signal(session)
+            # Heuristic adaptation: realized staleness pressing against
+            # the current bound means workers were held back -> relax;
+            # staleness well under the bound -> tighten.
+            pressure = after_block - before_block
+            if pressure > 0.5 and bound < upper:
+                bound += 1
+            elif pressure < 0.1 and bound > lower:
+                bound -= 1
+        return reason
+
+    def _blocking_signal(self, session: TrainingSession) -> float:
+        """Fraction of recent pushes with near-maximal staleness."""
+        counts = session.telemetry.staleness_counts
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        n_workers = session.cluster.n_active
+        high = sum(
+            count for value, count in counts.items() if value >= n_workers
+        )
+        return high / total

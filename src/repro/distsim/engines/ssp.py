@@ -1,0 +1,133 @@
+"""Stale Synchronous Parallel engine.
+
+SSP (Ho et al., NeurIPS 2013 — the paper's reference [33]) lets workers
+run asynchronously but bounds the spread of their iteration counts: a
+worker that is more than ``staleness_bound`` iterations ahead of the
+slowest worker blocks at the barrier until the slowest catches up.
+``staleness_bound = 0`` degenerates to BSP-like lockstep (still with
+per-push updates); a large bound approaches ASP.
+
+Sync-Switch itself only selects between BSP and ASP, but is explicitly
+"agnostic to the underlying synchronization protocols" (Section VI) —
+this engine exists so switching plans like SSP->ASP can be expressed
+and benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distsim.engines.base import StopCondition, TrainingSession
+from repro.distsim.events import EventQueue
+
+__all__ = ["SSPEngine"]
+
+DEFAULT_STALENESS_BOUND = 3
+
+
+@dataclass
+class _WorkerState:
+    """Per-worker asynchronous progress."""
+
+    params: np.ndarray
+    pulled_version: int
+    start_time: float
+
+
+class SSPEngine:
+    """Bounded-staleness asynchronous execution."""
+
+    name = "ssp"
+
+    def run(
+        self,
+        session: TrainingSession,
+        steps: int,
+        options: dict | None = None,
+        stop: StopCondition | None = None,
+    ) -> str:
+        options = options or {}
+        batch_size = int(options.get("batch_size", session.job.batch_size))
+        lr_multiplier = float(options.get("lr_multiplier", 1.0))
+        bound = int(options.get("staleness_bound", DEFAULT_STALENESS_BOUND))
+        session.note_async_phase(options.get("momentum_schedule"))
+
+        target = session.step + steps
+        queue = EventQueue()
+        states: dict[int, _WorkerState] = {}
+        iterations: dict[int, int] = {}
+        blocked: set[int] = set()
+        ps_free_at = session.clock.now
+
+        workers = session.cluster.active_workers
+        for worker in workers:
+            iterations[worker] = 0
+            self._pull_and_schedule(session, queue, states, worker, batch_size)
+
+        while session.step < target and queue:
+            event_time, worker = queue.pop()
+            if not session.cluster.is_active(worker):
+                states.pop(worker, None)
+                continue
+            apply_time = max(event_time, ps_free_at)
+            ps_free_at = apply_time + session.timing.ps_apply
+            session.clock.advance_to(apply_time)
+
+            state = states.pop(worker)
+            staleness = session.ps.staleness(state.pulled_version)
+            session.telemetry.record_staleness(staleness)
+            inputs, labels = session.worker_batch(worker, batch_size)
+            loss, grad = session.model.loss_and_grad(state.params, inputs, labels)
+            lr = session.base_lr_now() * lr_multiplier
+            session.ps.push(grad, lr, momentum=session.momentum_now())
+            session.telemetry.record_worker_duration(
+                apply_time, worker, apply_time - state.start_time
+            )
+
+            iterations[worker] += 1
+            session.step += 1
+            session.telemetry.images_processed += batch_size
+            session.after_update(loss)
+
+            # SSP condition: may start iteration c+1 only if
+            # c - min(iterations) <= bound.
+            floor = min(iterations[w] for w in iterations)
+            if iterations[worker] - floor <= bound:
+                self._pull_and_schedule(session, queue, states, worker, batch_size)
+            else:
+                blocked.add(worker)
+            # This push may have raised the floor: release blocked workers.
+            floor = min(iterations[w] for w in iterations)
+            for waiting in sorted(blocked):
+                if iterations[waiting] - floor <= bound:
+                    blocked.discard(waiting)
+                    self._pull_and_schedule(
+                        session, queue, states, waiting, batch_size
+                    )
+
+            if stop is not None:
+                reason = stop(session)
+                if reason:
+                    return reason
+        return "completed"
+
+    def _pull_and_schedule(
+        self,
+        session: TrainingSession,
+        queue: EventQueue,
+        states: dict[int, _WorkerState],
+        worker: int,
+        batch_size: int,
+    ) -> None:
+        params, version = session.ps.pull()
+        now = session.clock.now
+        states[worker] = _WorkerState(
+            params=params, pulled_version=version, start_time=now
+        )
+        slow, latency = session.stragglers.state_at(worker, now)
+        duration = session.timing.compute_time(
+            batch_size, session.time_rng(worker), slow, latency
+        )
+        queue.push(now + duration, worker)

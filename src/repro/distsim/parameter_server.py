@@ -1,0 +1,103 @@
+"""Sharded parameter server with version-tracked push/pull.
+
+The PS is the single numeric authority: it owns the flat parameter
+vector and the optimizer (momentum slot) state.  Every applied update
+increments a version counter; workers record the version they pulled,
+and the difference at push time is the realized gradient staleness that
+the telemetry reports (and that genuinely shaped the gradient, since
+the worker computed it on the pulled copy).
+
+Sharding across the collocated PS nodes follows the paper's layout
+(equal contiguous slices per node).  Shards matter for the timing and
+the tests; numerically the vector behaves as one array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mlcore.optim import MomentumSGD
+from repro.mlcore.params import ParameterLayout
+
+__all__ = ["ShardedParameterServer"]
+
+
+class ShardedParameterServer:
+    """Flat-vector parameter store with synchronous and async update paths."""
+
+    def __init__(
+        self,
+        layout: ParameterLayout,
+        initial_params: np.ndarray,
+        n_shards: int,
+        momentum: float = 0.9,
+    ):
+        if initial_params.shape != (layout.size,):
+            raise ConfigurationError("initial parameters do not match layout")
+        self.layout = layout
+        self.n_shards = int(n_shards)
+        self.shard_bounds = layout.shard_bounds(self.n_shards)
+        self.params = initial_params.copy()
+        self.optimizer = MomentumSGD(
+            layout.size, momentum=momentum, dtype=initial_params.dtype
+        )
+        self.version = 0
+
+    def pull(self) -> tuple[np.ndarray, int]:
+        """Return a parameter snapshot and its version."""
+        return self.params.copy(), self.version
+
+    def peek(self) -> np.ndarray:
+        """Read-only view of the live parameters (no copy; do not mutate)."""
+        return self.params
+
+    def push(
+        self,
+        grad: np.ndarray,
+        lr: float,
+        momentum: float | None = None,
+    ) -> int:
+        """Apply one gradient (sync aggregate or async single push).
+
+        Returns the new parameter version.
+        """
+        if grad.shape != self.params.shape:
+            raise ConfigurationError("gradient shape mismatch")
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.optimizer.step(self.params, grad, lr, momentum=momentum)
+        self.version += 1
+        return self.version
+
+    def staleness(self, pulled_version: int) -> int:
+        """Updates applied since ``pulled_version`` was handed out."""
+        if pulled_version > self.version:
+            raise ConfigurationError("pulled version is from the future")
+        return self.version - pulled_version
+
+    def shard_of(self, index: int) -> int:
+        """Which shard owns flat-vector position ``index``."""
+        if not 0 <= index < self.layout.size:
+            raise ConfigurationError("index out of range")
+        for shard, (lo, hi) in enumerate(self.shard_bounds):
+            if lo <= index < hi:
+                return shard
+        raise ConfigurationError("unreachable: shards do not cover the vector")
+
+    def state(self) -> dict:
+        """Checkpointable snapshot (parameters, optimizer, version)."""
+        return {
+            "params": self.params.copy(),
+            "optimizer": self.optimizer.state(),
+            "version": self.version,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+        params = np.asarray(state["params"])
+        if params.shape != self.params.shape:
+            raise ConfigurationError("checkpoint parameter shape mismatch")
+        self.params = params.copy()
+        self.optimizer.load_state(state["optimizer"])
+        self.version = int(state["version"])

@@ -1,0 +1,216 @@
+"""Straggler schedules: ambient contention and injected slowdowns.
+
+Two kinds of slowdown exist in the simulator, mirroring the paper:
+
+* **Ambient contention** — short, random per-worker slowdowns that model
+  the background noisiness of public-cloud VMs (Section III: "network
+  bandwidth fluctuations...").  These are always on (at a low rate) and
+  are the physical source of the bursty gradient staleness that makes
+  ASP converge to lower accuracy.
+* **Injected transient stragglers** — the controlled scenarios of
+  Fig. 4(b) and Fig. 15: ``k`` stragglers appearing ``f`` times with an
+  emulated per-packet network latency, each occurrence lasting about as
+  long as provisioning a replacement VM (~100 s, Section IV-B2).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "StragglerEvent",
+    "StragglerSchedule",
+    "ambient_contention",
+    "transient_scenario",
+    "DEFAULT_OCCURRENCE_DURATION",
+]
+
+#: Paper assumption: a transient slowdown lasts at most about the time
+#: needed to provision a replacement cloud server (~100 seconds).
+DEFAULT_OCCURRENCE_DURATION = 100.0
+
+
+@dataclass(frozen=True)
+class StragglerEvent:
+    """One contiguous slowdown of one worker.
+
+    ``slow_factor`` multiplies compute time; ``extra_latency`` is added
+    per-packet network latency in seconds (e.g. ``0.010`` for the
+    paper's 10 ms scenario).
+    """
+
+    worker: int
+    start: float
+    duration: float
+    slow_factor: float = 1.0
+    extra_latency: float = 0.0
+
+    def __post_init__(self):
+        if self.worker < 0:
+            raise ConfigurationError("worker index must be non-negative")
+        if self.start < 0 or self.duration <= 0:
+            raise ConfigurationError("event must have start >= 0, duration > 0")
+        if self.slow_factor < 1.0:
+            raise ConfigurationError("slow_factor must be >= 1")
+        if self.extra_latency < 0:
+            raise ConfigurationError("extra_latency must be >= 0")
+
+    @property
+    def end(self) -> float:
+        """Time at which the slowdown clears."""
+        return self.start + self.duration
+
+
+class StragglerSchedule:
+    """Queryable collection of :class:`StragglerEvent`.
+
+    Events are indexed per worker and sorted by start time, so the
+    active-state query used on every simulated batch is O(log m).
+    """
+
+    def __init__(self, events: list[StragglerEvent] | None = None):
+        self._by_worker: dict[int, list[StragglerEvent]] = {}
+        self._starts: dict[int, list[float]] = {}
+        self.events: list[StragglerEvent] = []
+        for event in events or []:
+            self.add(event)
+
+    def add(self, event: StragglerEvent) -> None:
+        """Insert one event (keeps per-worker ordering)."""
+        self.events.append(event)
+        bucket = self._by_worker.setdefault(event.worker, [])
+        bucket.append(event)
+        bucket.sort(key=lambda e: e.start)
+        self._starts[event.worker] = [e.start for e in bucket]
+
+    def state_at(self, worker: int, time: float) -> tuple[float, float]:
+        """``(slow_factor, extra_latency)`` for ``worker`` at ``time``.
+
+        Overlapping events compound: slow factors multiply and
+        latencies add.
+        """
+        bucket = self._by_worker.get(worker)
+        if not bucket:
+            return 1.0, 0.0
+        factor, latency = 1.0, 0.0
+        hi = bisect_right(self._starts[worker], time)
+        for event in bucket[:hi]:
+            if event.start <= time < event.end:
+                factor *= event.slow_factor
+                latency += event.extra_latency
+        return factor, latency
+
+    def is_straggling(self, worker: int, time: float) -> bool:
+        """Whether ``worker`` is slowed at ``time``."""
+        factor, latency = self.state_at(worker, time)
+        return factor > 1.0 or latency > 0.0
+
+    def active_workers(self, time: float) -> set[int]:
+        """Set of workers slowed at ``time``."""
+        return {
+            event.worker
+            for event in self.events
+            if event.start <= time < event.end
+        }
+
+    def next_clear_time(self, time: float) -> float | None:
+        """Earliest future time at which no event is active (None if clear)."""
+        active = [e for e in self.events if e.start <= time < e.end]
+        if not active:
+            return None
+        horizon = max(e.end for e in active)
+        # Events may chain: keep extending while another event overlaps.
+        changed = True
+        while changed:
+            changed = False
+            for event in self.events:
+                if event.start < horizon and event.end > horizon:
+                    horizon = event.end
+                    changed = True
+        return horizon
+
+    def merged_with(self, other: "StragglerSchedule") -> "StragglerSchedule":
+        """A new schedule containing both event sets."""
+        return StragglerSchedule(self.events + other.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def ambient_contention(
+    n_workers: int,
+    horizon: float,
+    rng: np.random.Generator,
+    mean_interval: float = 25.0,
+    mean_duration: float = 8.0,
+    slow_factor: float = 4.0,
+) -> StragglerSchedule:
+    """Background cloud noise: Poisson per-worker slowdown bursts.
+
+    Each worker independently experiences bursts with exponential
+    inter-arrival times (``mean_interval``) and durations
+    (``mean_duration``), during which its compute slows by
+    ``slow_factor``.  In ASP this is what produces heavy-tailed
+    gradient staleness; in BSP it stretches the barrier.
+    """
+    if n_workers <= 0 or horizon <= 0:
+        raise ConfigurationError("n_workers and horizon must be positive")
+    schedule = StragglerSchedule()
+    for worker in range(n_workers):
+        time = float(rng.exponential(mean_interval))
+        while time < horizon:
+            duration = max(0.5, float(rng.exponential(mean_duration)))
+            schedule.add(
+                StragglerEvent(
+                    worker=worker,
+                    start=time,
+                    duration=duration,
+                    slow_factor=slow_factor,
+                )
+            )
+            time += duration + float(rng.exponential(mean_interval))
+    return schedule
+
+
+def transient_scenario(
+    n_stragglers: int,
+    occurrences: int,
+    latency: float,
+    window: tuple[float, float],
+    rng: np.random.Generator,
+    n_workers: int = 8,
+    duration: float = DEFAULT_OCCURRENCE_DURATION,
+) -> StragglerSchedule:
+    """The paper's controlled straggler scenarios (Fig. 15).
+
+    ``n_stragglers`` distinct workers each experience ``occurrences``
+    slowdown windows of ``duration`` seconds with ``latency`` seconds
+    of emulated per-packet network latency, placed uniformly at random
+    inside ``window`` (the phase of training being stressed).
+    """
+    if n_stragglers > n_workers:
+        raise ConfigurationError("more stragglers than workers")
+    if n_stragglers < 0 or occurrences < 0:
+        raise ConfigurationError("counts must be non-negative")
+    lo, hi = window
+    if hi <= lo:
+        raise ConfigurationError("window must be a non-empty interval")
+    schedule = StragglerSchedule()
+    workers = rng.choice(n_workers, size=n_stragglers, replace=False)
+    for worker in workers:
+        for _ in range(occurrences):
+            start = float(rng.uniform(lo, max(lo, hi - duration)))
+            schedule.add(
+                StragglerEvent(
+                    worker=int(worker),
+                    start=start,
+                    duration=duration,
+                    extra_latency=latency,
+                )
+            )
+    return schedule

@@ -1,0 +1,225 @@
+"""Training telemetry and results.
+
+The telemetry object is the simulator's equivalent of the paper's
+profiler data feed (Fig. 9): loss every ``loss_log_every`` steps, test
+accuracy every ``eval_every`` steps, per-worker step durations for the
+straggler detector, realized gradient staleness, protocol-segment
+boundaries and switch overheads.
+
+:class:`TrainingResult` is the JSON-serializable summary consumed by
+the experiment harness and its on-disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrainingTelemetry", "TrainingResult", "SegmentRecord"]
+
+
+@dataclass
+class SegmentRecord:
+    """One executed protocol segment."""
+
+    protocol: str
+    start_step: int
+    start_time: float
+    end_step: int | None = None
+    end_time: float | None = None
+
+    @property
+    def steps(self) -> int:
+        """Steps covered by this segment (0 while still open)."""
+        if self.end_step is None:
+            return 0
+        return self.end_step - self.start_step
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds spent in this segment (0 while open)."""
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+
+@dataclass
+class TrainingTelemetry:
+    """Mutable log store filled in by the engines during a run."""
+
+    loss_log: list[tuple[int, float, float]] = field(default_factory=list)
+    eval_log: list[tuple[int, float, float]] = field(default_factory=list)
+    worker_durations: list[tuple[float, int, float]] = field(default_factory=list)
+    staleness_counts: dict[int, int] = field(default_factory=dict)
+    segments: list[SegmentRecord] = field(default_factory=list)
+    overheads: list[tuple[float, str, float]] = field(default_factory=list)
+    images_processed: int = 0
+
+    def record_loss(self, step: int, time: float, loss: float) -> None:
+        """Append one training-loss observation."""
+        self.loss_log.append((step, time, float(loss)))
+
+    def record_eval(self, step: int, time: float, accuracy: float) -> None:
+        """Append one test-accuracy observation."""
+        self.eval_log.append((step, time, float(accuracy)))
+
+    def record_worker_duration(
+        self, time: float, worker: int, duration: float
+    ) -> None:
+        """Append one per-worker batch duration (straggler detection feed)."""
+        self.worker_durations.append((time, worker, duration))
+
+    def record_staleness(self, staleness: int) -> None:
+        """Count one realized gradient-staleness value."""
+        self.staleness_counts[staleness] = self.staleness_counts.get(staleness, 0) + 1
+
+    def open_segment(self, protocol: str, step: int, time: float) -> None:
+        """Mark the start of a protocol segment."""
+        self.segments.append(SegmentRecord(protocol, step, time))
+
+    def close_segment(self, step: int, time: float) -> None:
+        """Mark the end of the currently open segment."""
+        if self.segments and self.segments[-1].end_step is None:
+            self.segments[-1].end_step = step
+            self.segments[-1].end_time = time
+
+    def record_overhead(self, time: float, kind: str, seconds: float) -> None:
+        """Charge framework overhead (switching, eviction, restore)."""
+        self.overheads.append((time, kind, seconds))
+
+    @property
+    def total_overhead(self) -> float:
+        """Sum of all charged overheads in seconds."""
+        return sum(seconds for _, _, seconds in self.overheads)
+
+    @property
+    def switch_count(self) -> int:
+        """Number of protocol-switch overheads charged."""
+        return sum(1 for _, kind, _ in self.overheads if kind == "switch")
+
+    def staleness_summary(self) -> dict[str, float]:
+        """Mean / p95 / max of the realized staleness distribution."""
+        if not self.staleness_counts:
+            return {"mean": 0.0, "p95": 0.0, "max": 0.0}
+        values = np.array(sorted(self.staleness_counts), dtype=np.float64)
+        counts = np.array(
+            [self.staleness_counts[int(v)] for v in values], dtype=np.float64
+        )
+        total = counts.sum()
+        mean = float((values * counts).sum() / total)
+        cumulative = np.cumsum(counts) / total
+        p95 = float(values[np.searchsorted(cumulative, 0.95)])
+        return {"mean": mean, "p95": p95, "max": float(values[-1])}
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Immutable, JSON-serializable outcome of one training run."""
+
+    plan: str
+    seed: int
+    n_workers: int
+    total_steps: int
+    completed_steps: int
+    total_time: float
+    diverged: bool
+    diverged_step: int | None
+    converged: bool
+    converged_accuracy: float | None
+    reported_accuracy: float | None
+    best_accuracy: float | None
+    final_loss: float | None
+    eval_steps: tuple[int, ...]
+    eval_times: tuple[float, ...]
+    eval_accuracies: tuple[float, ...]
+    loss_steps: tuple[int, ...]
+    loss_values: tuple[float, ...]
+    segment_summary: tuple[dict, ...]
+    staleness: dict
+    switch_count: int
+    total_overhead: float
+    images_processed: int
+
+    @property
+    def throughput(self) -> float:
+        """Whole-run average throughput in images/second."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.images_processed / self.total_time
+
+    def segment_throughput(self, protocol: str) -> float | None:
+        """Average images/second across all segments of ``protocol``."""
+        images = 0.0
+        seconds = 0.0
+        for record in self.segment_summary:
+            if record["protocol"] == protocol:
+                images += record["images"]
+                seconds += record["duration"]
+        if seconds <= 0:
+            return None
+        return images / seconds
+
+    def time_to_accuracy(self, threshold: float) -> float | None:
+        """First simulated time reaching ``threshold`` accuracy (or None)."""
+        for time, accuracy in zip(self.eval_times, self.eval_accuracies):
+            if accuracy >= threshold:
+                return time
+        return None
+
+    def to_dict(self) -> dict:
+        """Plain-python dict for JSON caching."""
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "n_workers": self.n_workers,
+            "total_steps": self.total_steps,
+            "completed_steps": self.completed_steps,
+            "total_time": self.total_time,
+            "diverged": self.diverged,
+            "diverged_step": self.diverged_step,
+            "converged": self.converged,
+            "converged_accuracy": self.converged_accuracy,
+            "reported_accuracy": self.reported_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "final_loss": self.final_loss,
+            "eval_steps": list(self.eval_steps),
+            "eval_times": list(self.eval_times),
+            "eval_accuracies": list(self.eval_accuracies),
+            "loss_steps": list(self.loss_steps),
+            "loss_values": list(self.loss_values),
+            "segment_summary": list(self.segment_summary),
+            "staleness": self.staleness,
+            "switch_count": self.switch_count,
+            "total_overhead": self.total_overhead,
+            "images_processed": self.images_processed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            plan=data["plan"],
+            seed=data["seed"],
+            n_workers=data["n_workers"],
+            total_steps=data["total_steps"],
+            completed_steps=data["completed_steps"],
+            total_time=data["total_time"],
+            diverged=data["diverged"],
+            diverged_step=data["diverged_step"],
+            converged=data["converged"],
+            converged_accuracy=data["converged_accuracy"],
+            reported_accuracy=data["reported_accuracy"],
+            best_accuracy=data["best_accuracy"],
+            final_loss=data["final_loss"],
+            eval_steps=tuple(data["eval_steps"]),
+            eval_times=tuple(data["eval_times"]),
+            eval_accuracies=tuple(data["eval_accuracies"]),
+            loss_steps=tuple(data["loss_steps"]),
+            loss_values=tuple(data["loss_values"]),
+            segment_summary=tuple(data["segment_summary"]),
+            staleness=data["staleness"],
+            switch_count=data["switch_count"],
+            total_overhead=data["total_overhead"],
+            images_processed=data["images_processed"],
+        )

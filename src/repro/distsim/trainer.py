@@ -1,0 +1,219 @@
+"""The distributed trainer: executes a training plan on the simulator.
+
+This is the substrate equivalent of a TensorFlow training job plus the
+parts of Sync-Switch's runtime that live next to the framework: it
+sequences protocol segments, charges checkpoint/restart overhead at
+every protocol switch (Section V), detects divergence, and assembles
+the final :class:`~repro.distsim.telemetry.TrainingResult`.
+
+Policy *decisions* (which plan, when to react to stragglers) live in
+:mod:`repro.core`; this module only executes them.
+"""
+
+from __future__ import annotations
+
+from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.distsim.engines import make_engine
+from repro.distsim.engines.base import StopCondition, TrainingSession
+from repro.distsim.job import JobConfig, Segment, TrainingPlan
+from repro.distsim.overheads import ProvisioningModel
+from repro.distsim.stragglers import StragglerSchedule, ambient_contention
+from repro.distsim.telemetry import TrainingResult
+from repro.distsim.timing import timing_for
+from repro.errors import DivergenceError
+from repro.mlcore.datasets import make_dataset
+from repro.mlcore.models import make_model
+from repro.rng import child_rng
+
+__all__ = ["DistributedTrainer", "JobConfig", "Segment", "TrainingPlan"]
+
+#: Ambient cloud-noise defaults (see stragglers.ambient_contention):
+#: short contention bursts that slow a worker's compute 4x.  These are
+#: the physical source of bursty gradient staleness in ASP.
+AMBIENT_MEAN_INTERVAL = 60.0
+AMBIENT_MEAN_DURATION = 6.0
+AMBIENT_SLOW_FACTOR = 4.0
+
+
+class DistributedTrainer:
+    """Runs :class:`TrainingPlan` objects for one job on one cluster."""
+
+    def __init__(
+        self,
+        job: JobConfig,
+        cluster: ClusterSpec | Cluster,
+        stragglers: StragglerSchedule | None = None,
+        ambient_noise: bool = True,
+        provisioning: ProvisioningModel | None = None,
+    ):
+        self.job = job
+        self.cluster = cluster if isinstance(cluster, Cluster) else Cluster(cluster)
+        self.provisioning = provisioning or ProvisioningModel(parallel=True)
+        self.model = make_model(job.model)
+        self.dataset = make_dataset(job.dataset)
+        self.timing = timing_for(job.model, self.cluster.spec.gpu)
+
+        schedule = stragglers or StragglerSchedule()
+        if ambient_noise:
+            horizon = self._time_horizon()
+            noise = ambient_contention(
+                self.cluster.spec.n_workers,
+                horizon,
+                child_rng(job.seed, "ambient"),
+                mean_interval=AMBIENT_MEAN_INTERVAL,
+                mean_duration=AMBIENT_MEAN_DURATION,
+                slow_factor=AMBIENT_SLOW_FACTOR,
+            )
+            schedule = schedule.merged_with(noise)
+        self.stragglers = schedule
+
+    def new_session(self) -> TrainingSession:
+        """A fresh session (parameters re-initialised from the job seed)."""
+        return TrainingSession(
+            job=self.job,
+            model=self.model,
+            dataset=self.dataset,
+            timing=self.timing,
+            cluster=self.cluster,
+            stragglers=self.stragglers,
+        )
+
+    def run(
+        self,
+        plan: TrainingPlan,
+        stop: StopCondition | None = None,
+        session: TrainingSession | None = None,
+    ) -> TrainingResult:
+        """Execute ``plan`` to completion (or divergence).
+
+        ``stop`` is an optional per-update hook used by the online
+        policies; when it fires the current segment ends early and the
+        remaining budget continues with the next segment (the
+        Sync-Switch controller builds richer behaviour on top via
+        :meth:`run_segment`).
+        """
+        session = session or self.new_session()
+        try:
+            for index, segment in enumerate(plan.segments):
+                target = self._segment_target(plan, index, session)
+                steps = target - session.step
+                if steps <= 0:
+                    continue
+                self.run_segment(session, segment, steps, stop=stop)
+        except DivergenceError:
+            pass
+        return self.finalize(session, plan)
+
+    def run_segment(
+        self,
+        session: TrainingSession,
+        segment: Segment,
+        steps: int,
+        stop: StopCondition | None = None,
+        charge_switch: bool | None = None,
+    ) -> str:
+        """Run one protocol segment for up to ``steps`` steps.
+
+        Charges switch overhead when the protocol changes relative to
+        the previously executed segment (override with
+        ``charge_switch``).
+        """
+        previous = session.telemetry.segments[-1].protocol if (
+            session.telemetry.segments
+        ) else None
+        if charge_switch is None:
+            charge_switch = previous is not None and previous != segment.protocol
+        if charge_switch:
+            self.charge_switch_overhead(session)
+        session.telemetry.open_segment(
+            segment.protocol, session.step, session.clock.now
+        )
+        engine = make_engine(segment.protocol)
+        try:
+            reason = engine.run(session, steps, segment.options, stop)
+        finally:
+            session.telemetry.close_segment(session.step, session.clock.now)
+        return reason
+
+    def charge_switch_overhead(self, session: TrainingSession) -> None:
+        """Checkpoint + reconfigure + restart cost of a protocol switch."""
+        seconds = self.provisioning.switch_time(self.cluster.spec.n_workers)
+        session.clock.advance(seconds)
+        session.telemetry.record_overhead(session.clock.now, "switch", seconds)
+
+    def charge_resize_overhead(self, session: TrainingSession, kind: str) -> None:
+        """Elastic evict/restore reconfiguration cost."""
+        if kind == "evict":
+            seconds = self.provisioning.evict_time(self.cluster.spec.n_workers)
+        else:
+            seconds = self.provisioning.restore_time(self.cluster.spec.n_workers)
+        session.clock.advance(seconds)
+        session.telemetry.record_overhead(session.clock.now, kind, seconds)
+
+    def finalize(
+        self, session: TrainingSession, plan: TrainingPlan
+    ) -> TrainingResult:
+        """Assemble the immutable result from session telemetry."""
+        if not session.diverged and session.telemetry.eval_log:
+            # Record a final evaluation so the curve covers the full run.
+            last_step = session.telemetry.eval_log[-1][0]
+            if last_step < session.step:
+                session.evaluate_now()
+        telemetry = session.telemetry
+        tracker = session.tracker
+        segment_summary = tuple(
+            {
+                "protocol": record.protocol,
+                "start_step": record.start_step,
+                "end_step": record.end_step,
+                "duration": record.duration,
+                "images": record.steps * self.job.batch_size,
+            }
+            for record in telemetry.segments
+        )
+        return TrainingResult(
+            plan=plan.describe(),
+            seed=self.job.seed,
+            n_workers=self.cluster.spec.n_workers,
+            total_steps=self.job.total_steps,
+            completed_steps=session.step,
+            total_time=session.clock.now,
+            diverged=session.diverged,
+            diverged_step=session.diverged_step,
+            converged=tracker.converged,
+            converged_accuracy=tracker.converged_accuracy,
+            reported_accuracy=(
+                None if session.diverged else tracker.reported_accuracy()
+            ),
+            best_accuracy=tracker.best_accuracy,
+            final_loss=session.last_loss,
+            eval_steps=tuple(step for step, _, _ in telemetry.eval_log),
+            eval_times=tuple(time for _, time, _ in telemetry.eval_log),
+            eval_accuracies=tuple(acc for _, _, acc in telemetry.eval_log),
+            loss_steps=tuple(step for step, _, _ in telemetry.loss_log),
+            loss_values=tuple(loss for _, _, loss in telemetry.loss_log),
+            segment_summary=segment_summary,
+            staleness=telemetry.staleness_summary(),
+            switch_count=telemetry.switch_count,
+            total_overhead=telemetry.total_overhead,
+            images_processed=telemetry.images_processed,
+        )
+
+    def _segment_target(
+        self, plan: TrainingPlan, index: int, session: TrainingSession
+    ) -> int:
+        """Cumulative step target after plan segment ``index``."""
+        cumulative = sum(s.fraction for s in plan.segments[: index + 1])
+        if index == len(plan.segments) - 1:
+            return self.job.total_steps
+        return int(round(cumulative * self.job.total_steps))
+
+    def _time_horizon(self) -> float:
+        """Generous upper bound on simulated run time (for noise horizon)."""
+        n = self.cluster.spec.n_workers
+        batch = self.job.batch_size
+        worst_round = (
+            self.timing.mean_compute_time(batch) * AMBIENT_SLOW_FACTOR
+            + self.timing.sync_overhead(n)
+        )
+        return self.job.total_steps / n * worst_round * 1.5 + 600.0

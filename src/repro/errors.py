@@ -1,0 +1,36 @@
+"""Exception hierarchy shared across the package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can guard any public entry point with a single ``except``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class DivergenceError(ReproError):
+    """Training diverged (loss overflow / NaN).
+
+    The paper observes this for ASP on the 16-worker cluster and for
+    switch points placed before the first learning-rate decay
+    (Section VI-B1, Fig. 13).  The trainer raises this error when the
+    mini-batch loss becomes non-finite or exceeds a configurable
+    blow-up threshold.
+    """
+
+    def __init__(self, message: str, step: int | None = None):
+        super().__init__(message)
+        self.step = step
+
+
+class ConfigurationError(ReproError):
+    """An invalid job, cluster, policy or hyper-parameter configuration."""
+
+
+class ClusterError(ReproError):
+    """Illegal cluster operation (e.g. evicting more workers than exist)."""
+
+
+class SearchError(ReproError):
+    """The offline binary search was mis-configured or could not run."""

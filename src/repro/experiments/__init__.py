@@ -1,0 +1,98 @@
+"""Evaluation harness: the paper's experiment setups, figures and tables.
+
+One generator function exists per paper artifact; each returns a
+:class:`~repro.experiments.reporting.Report` with measured rows, the
+paper's numbers where applicable, and caveat notes.  All generators
+share an :class:`~repro.experiments.runner.ExperimentRunner`, whose
+cache makes overlapping artifacts (e.g. Fig. 2 ⊂ Fig. 5b ⊂ Fig. 11)
+reuse the same training runs.
+"""
+
+from repro.experiments.endtoend import (
+    figure_10,
+    figure_11,
+    figure_12,
+    figure_13,
+    figure_14,
+)
+from repro.experiments.figures import (
+    figure_2,
+    figure_4a,
+    figure_4b,
+    figure_5a,
+    figure_5b,
+    figure_8a,
+    figure_8b,
+)
+from repro.experiments.reporting import Report, render_report
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.search_analysis import (
+    figure_16,
+    table_2,
+    table_4,
+    table_5,
+    table_6,
+)
+from repro.experiments.setups import (
+    SETUPS,
+    ExperimentSetup,
+    default_scale,
+    default_seeds,
+)
+from repro.experiments.straggler_fig import figure_15
+from repro.experiments.tables import table_1, table_3
+
+#: Registry used by the CLI and the benchmark suite.
+ARTIFACTS = {
+    "fig2": figure_2,
+    "fig4a": figure_4a,
+    "fig4b": figure_4b,
+    "fig5a": figure_5a,
+    "fig5b": figure_5b,
+    "fig8a": figure_8a,
+    "fig8b": figure_8b,
+    "fig10": figure_10,
+    "fig11": figure_11,
+    "fig12": figure_12,
+    "fig13": figure_13,
+    "fig14": figure_14,
+    "fig15": figure_15,
+    "fig16": figure_16,
+    "tab1": table_1,
+    "tab2": table_2,
+    "tab3": table_3,
+    "tab4": table_4,
+    "tab5": table_5,
+    "tab6": table_6,
+}
+
+__all__ = [
+    "ARTIFACTS",
+    "ExperimentRunner",
+    "ExperimentSetup",
+    "Report",
+    "SETUPS",
+    "default_scale",
+    "default_seeds",
+    "figure_2",
+    "figure_4a",
+    "figure_4b",
+    "figure_5a",
+    "figure_5b",
+    "figure_8a",
+    "figure_8b",
+    "figure_10",
+    "figure_11",
+    "figure_12",
+    "figure_13",
+    "figure_14",
+    "figure_15",
+    "figure_16",
+    "render_report",
+    "table_1",
+    "table_2",
+    "table_3",
+    "table_4",
+    "table_5",
+    "table_6",
+]

@@ -1,0 +1,80 @@
+"""Report objects and plain-text rendering.
+
+Every figure/table generator returns a :class:`Report`: measured rows,
+the paper's corresponding numbers where available, and notes about
+substitutions or caveats.  ``render_report`` prints the same rows the
+paper's artifact shows, aligned for terminal reading; the benchmark
+harness tees these into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Report", "render_report"]
+
+
+@dataclass
+class Report:
+    """One reproduced paper artifact."""
+
+    ident: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    paper_rows: list[dict] | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def column_values(self, column: str) -> list:
+        """All measured values of one column."""
+        return [row.get(column) for row in self.rows]
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _render_table(columns: list[str], rows: list[dict]) -> list[str]:
+    table = [[column for column in columns]]
+    for row in rows:
+        table.append([_format_cell(row.get(column)) for column in columns])
+    widths = [
+        max(len(line[index]) for line in table)
+        for index in range(len(columns))
+    ]
+    lines = []
+    for line_index, line in enumerate(table):
+        rendered = "  ".join(
+            cell.ljust(width) for cell, width in zip(line, widths)
+        )
+        lines.append(rendered.rstrip())
+        if line_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+def render_report(report: Report) -> str:
+    """Human-readable rendering: measured table, paper table, notes."""
+    lines = [f"== {report.ident}: {report.title} ==", ""]
+    lines.append("measured:")
+    lines.extend(_render_table(report.columns, report.rows))
+    if report.paper_rows:
+        lines.append("")
+        lines.append("paper:")
+        paper_columns = list(
+            dict.fromkeys(
+                column
+                for row in report.paper_rows
+                for column in row
+            )
+        )
+        lines.extend(_render_table(paper_columns, report.paper_rows))
+    if report.notes:
+        lines.append("")
+        for note in report.notes:
+            lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,335 @@
+"""Experiment runner: executes harness configurations with caching.
+
+A *run spec* is a plain JSON-able dict describing one training
+configuration; the runner materialises it into policies + controller
+(or a raw trainer plan for engine-level ablations), executes it once
+per seed, and caches the resulting
+:class:`~repro.distsim.telemetry.TrainingResult` in memory and on disk
+(keyed by setup, scale, spec and seed), because many figures share the
+same underlying runs — exactly like the paper reuses its training logs.
+
+Spec reference::
+
+    {"kind": "switch", "percent": 6.25}                  # Sync-Switch plan
+    {"kind": "switch", "percent": 6.25,
+     "momentum_mode": "zero"}                            # Fig 8b ablation
+    {"kind": "static", "protocol": "bsp"}                # baselines
+    {"kind": "reversed", "percent": 50.0}                # ASP->BSP ablation
+    {"kind": "custom_static", "protocol": "asp",
+     "options": {"batch_size": 1024}}                    # Fig 8a ablation
+    + optional keys:
+      "steps_scale": 0.25          # shorten the run (throughput probes)
+      "ambient": false             # disable background cloud noise
+      "stragglers": {"n": 1, "occurrences": 1, "latency": 0.010,
+                     "permanent": false}
+      "online": "greedy" | "elastic"                     # Fig 15 policies
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.policies import (
+    ConfigurationPolicy,
+    ElasticPolicy,
+    GreedyPolicy,
+    PolicyManager,
+    ProtocolPolicy,
+    TimingPolicy,
+)
+from repro.core.runtime import SyncSwitchController
+from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.distsim.job import JobConfig, Segment, TrainingPlan
+from repro.distsim.overheads import ProvisioningModel
+from repro.distsim.stragglers import StragglerEvent, StragglerSchedule
+from repro.distsim.telemetry import TrainingResult
+from repro.distsim.timing import timing_for
+from repro.distsim.trainer import DistributedTrainer
+from repro.errors import ConfigurationError
+from repro.experiments.setups import (
+    ExperimentSetup,
+    default_scale,
+    default_seeds,
+    scaled_job,
+)
+from repro.rng import child_rng
+
+__all__ = ["ExperimentRunner"]
+
+#: Bump to invalidate cached results after calibration changes.
+CALIBRATION_VERSION = 3
+
+
+class ExperimentRunner:
+    """Cached executor for harness run specs."""
+
+    def __init__(
+        self,
+        scale: float | None = None,
+        seeds: int | None = None,
+        cache_dir: str | Path | None = None,
+    ):
+        self.scale = scale if scale is not None else default_scale()
+        self.n_seeds = seeds if seeds is not None else default_seeds()
+        self._memory: dict[str, TrainingResult] = {}
+        self._cache_dir = self._resolve_cache_dir(cache_dir)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self, setup: ExperimentSetup, spec: dict, seed: int
+    ) -> TrainingResult:
+        """Execute one configuration (cached)."""
+        key = self._key(setup, spec, seed)
+        if key in self._memory:
+            return self._memory[key]
+        disk = self._disk_load(key)
+        if disk is not None:
+            self._memory[key] = disk
+            return disk
+        result = self._execute(setup, spec, seed)
+        self._memory[key] = result
+        self._disk_store(key, result)
+        return result
+
+    def run_many(
+        self,
+        setup: ExperimentSetup,
+        spec: dict,
+        seeds: int | None = None,
+    ) -> list[TrainingResult]:
+        """Execute one configuration across repeated seeds."""
+        count = seeds if seeds is not None else self.n_seeds
+        return [self.run(setup, spec, seed) for seed in range(count)]
+
+    def sweep(
+        self,
+        setup: ExperimentSetup,
+        percents: tuple[float, ...] | None = None,
+        seeds: int | None = None,
+    ) -> dict[float, list[TrainingResult]]:
+        """Switch-timing sweep over ``percents`` (the per-setup grid)."""
+        grid = percents if percents is not None else setup.sweep_percents
+        return {
+            percent: self.run_many(
+                setup, {"kind": "switch", "percent": percent}, seeds
+            )
+            for percent in grid
+        }
+
+    def bsp_mean_accuracy(self, setup: ExperimentSetup) -> float:
+        """Mean BSP converged accuracy (TTA threshold base, Section VI-A)."""
+        runs = self.run_many(setup, {"kind": "switch", "percent": 100.0})
+        values = [
+            run.reported_accuracy
+            for run in runs
+            if run.reported_accuracy is not None
+        ]
+        if not values:
+            raise ConfigurationError("all BSP runs failed; cannot set target")
+        return sum(values) / len(values)
+
+    def job(self, setup: ExperimentSetup, seed: int) -> JobConfig:
+        """The scaled job config used for ``setup``."""
+        return scaled_job(setup, self.scale, seed)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self, setup: ExperimentSetup, spec: dict, seed: int
+    ) -> TrainingResult:
+        job = self.job(setup, seed)
+        steps_scale = float(spec.get("steps_scale", 1.0))
+        if steps_scale != 1.0:
+            job = JobConfig(
+                model=job.model,
+                dataset=job.dataset,
+                total_steps=max(int(job.total_steps * steps_scale), 200),
+                batch_size=job.batch_size,
+                base_lr=job.base_lr,
+                momentum=job.momentum,
+                eval_every=job.eval_every,
+                loss_log_every=job.loss_log_every,
+                seed=seed,
+            )
+        ambient = bool(spec.get("ambient", True))
+        stragglers = self._straggler_schedule(setup, spec, job, seed)
+
+        if spec["kind"] == "custom_static":
+            return self._execute_raw(setup, spec, job, stragglers, ambient)
+
+        policies = self._policies(setup, spec, job)
+        controller = SyncSwitchController(
+            job=job,
+            cluster_spec=ClusterSpec(n_workers=setup.n_workers),
+            policies=policies,
+            stragglers=stragglers,
+            ambient_noise=ambient,
+            overhead_time_scale=self.scale,
+        )
+        return controller.run_job().result
+
+    def _execute_raw(
+        self, setup, spec, job, stragglers, ambient
+    ) -> TrainingResult:
+        """Engine-level run for ablations outside the policy space."""
+        protocol = spec["protocol"]
+        options = dict(spec.get("options", {}))
+        plan = TrainingPlan((Segment(protocol, 1.0, options),))
+        trainer = DistributedTrainer(
+            job,
+            Cluster(ClusterSpec(n_workers=setup.n_workers)),
+            stragglers=stragglers,
+            ambient_noise=ambient,
+            provisioning=ProvisioningModel(time_scale=self.scale),
+        )
+        return trainer.run(plan)
+
+    def _policies(
+        self, setup: ExperimentSetup, spec: dict, job: JobConfig
+    ) -> PolicyManager:
+        kind = spec["kind"]
+        config = ConfigurationPolicy(
+            momentum_mode=spec.get("momentum_mode", "baseline")
+        )
+        online = None
+        if spec.get("online") == "greedy":
+            online = GreedyPolicy()
+        elif spec.get("online") == "elastic":
+            online = ElasticPolicy()
+
+        if kind == "switch":
+            timing = TimingPolicy(spec["percent"] / 100.0, source="harness")
+            return PolicyManager(
+                timing=timing, config=config, straggler=online
+            )
+        if kind == "static":
+            protocol = spec["protocol"]
+            if protocol == "bsp":
+                timing = TimingPolicy(1.0, source="static")
+                return PolicyManager(
+                    timing=timing, config=config, straggler=online
+                )
+            timing = TimingPolicy(0.0, source="static")
+            protocol_policy = ProtocolPolicy(first="bsp", second=protocol) if (
+                protocol != "bsp"
+            ) else ProtocolPolicy()
+            return PolicyManager(
+                timing=timing,
+                protocol=protocol_policy,
+                config=config,
+                straggler=online,
+            )
+        if kind == "reversed":
+            timing = TimingPolicy(spec["percent"] / 100.0, source="ablation")
+            return PolicyManager(
+                timing=timing,
+                protocol=ProtocolPolicy.allow_reversed("asp", "bsp"),
+                config=config,
+                straggler=online,
+            )
+        raise ConfigurationError(f"unknown run-spec kind {kind!r}")
+
+    def _straggler_schedule(
+        self, setup, spec, job: JobConfig, seed: int
+    ) -> StragglerSchedule | None:
+        raw = spec.get("stragglers")
+        if not raw:
+            return None
+        count = int(raw["n"])
+        latency = float(raw["latency"])
+        rng = child_rng(seed, f"straggler/{setup.key}")
+        if raw.get("permanent"):
+            horizon = 10_000_000.0
+            schedule = StragglerSchedule()
+            for worker in range(count):
+                schedule.add(
+                    StragglerEvent(
+                        worker=worker,
+                        start=0.0,
+                        duration=horizon,
+                        extra_latency=latency,
+                    )
+                )
+            return schedule
+        occurrences = int(raw.get("occurrences", 1))
+        duration = float(raw.get("duration", 100.0))
+        window_end = max(self._bsp_phase_estimate(setup, spec, job), 30.0)
+        schedule = StragglerSchedule()
+        workers = rng.choice(setup.n_workers, size=count, replace=False)
+        for worker in workers:
+            for _ in range(occurrences):
+                start = float(rng.uniform(2.0, max(window_end * 0.8, 3.0)))
+                schedule.add(
+                    StragglerEvent(
+                        worker=int(worker),
+                        start=start,
+                        duration=duration,
+                        extra_latency=latency,
+                    )
+                )
+        return schedule
+
+    def _bsp_phase_estimate(self, setup, spec, job: JobConfig) -> float:
+        """Rough simulated duration of the plan's BSP phase."""
+        percent = float(spec.get("percent", setup.policy_percent))
+        timing = timing_for(setup.model)
+        rounds = percent / 100.0 * job.total_steps / setup.n_workers
+        round_time = (
+            timing.mean_compute_time(job.batch_size) * 1.3
+            + timing.sync_overhead(setup.n_workers)
+        )
+        return rounds * round_time * 1.25
+
+    # ------------------------------------------------------------------
+    # caching
+    # ------------------------------------------------------------------
+    def _key(self, setup: ExperimentSetup, spec: dict, seed: int) -> str:
+        payload = json.dumps(
+            {
+                "calibration": CALIBRATION_VERSION,
+                "setup": setup.key,
+                "scale": self.scale,
+                "spec": spec,
+                "seed": seed,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    def _resolve_cache_dir(self, cache_dir) -> Path | None:
+        if cache_dir is None:
+            raw = os.environ.get("REPRO_CACHE_DIR", "")
+            if raw.lower() in ("0", "off", "none"):
+                return None
+            if raw:
+                cache_dir = raw
+            else:
+                cache_dir = Path(__file__).resolve().parents[3] / ".exp_cache"
+        path = Path(cache_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def _disk_load(self, key: str) -> TrainingResult | None:
+        if self._cache_dir is None:
+            return None
+        path = self._cache_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return TrainingResult.from_dict(json.load(handle))
+        except (json.JSONDecodeError, KeyError, OSError):
+            return None
+
+    def _disk_store(self, key: str, result: TrainingResult) -> None:
+        if self._cache_dir is None:
+            return
+        path = self._cache_dir / f"{key}.json"
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle)

@@ -1,0 +1,45 @@
+"""Numeric ML substrate: models, datasets, optimizers and metrics.
+
+Everything in this subpackage is implemented from scratch on top of
+numpy.  Models are *functional*: parameters live in a flat vector and
+``loss_and_grad`` is a pure function of ``(params, batch)``.  This makes
+gradient staleness trivially expressible — an ASP worker simply
+evaluates the gradient at the (old) vector it pulled — and lets the
+parameter server shard a single contiguous array.
+"""
+
+from repro.mlcore.datasets import DatasetConfig, SyntheticDataset, make_dataset
+from repro.mlcore.losses import softmax_cross_entropy, softmax_probabilities
+from repro.mlcore.metrics import ConvergenceTracker, time_to_accuracy
+from repro.mlcore.models import ModelConfig, ResidualMLPClassifier, make_model
+from repro.mlcore.optim import (
+    ConstantMomentum,
+    FixedScaledMomentum,
+    LinearRampMomentum,
+    MomentumSGD,
+    NonlinearRampMomentum,
+    PiecewiseDecaySchedule,
+    ZeroMomentum,
+)
+from repro.mlcore.params import ParameterLayout
+
+__all__ = [
+    "ConstantMomentum",
+    "ConvergenceTracker",
+    "DatasetConfig",
+    "FixedScaledMomentum",
+    "LinearRampMomentum",
+    "ModelConfig",
+    "MomentumSGD",
+    "NonlinearRampMomentum",
+    "ParameterLayout",
+    "PiecewiseDecaySchedule",
+    "ResidualMLPClassifier",
+    "SyntheticDataset",
+    "ZeroMomentum",
+    "make_dataset",
+    "make_model",
+    "softmax_cross_entropy",
+    "softmax_probabilities",
+    "time_to_accuracy",
+]

@@ -1,0 +1,62 @@
+"""Classification losses.
+
+The paper trains image classifiers with softmax cross-entropy
+(Section VI-A: "Training loss is calculated based on the cross-entropy
+loss function per mini-batch").  Implemented with the log-sum-exp trick
+so large logits (common right before ASP divergence) do not overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "log_softmax",
+    "softmax_probabilities",
+    "softmax_cross_entropy",
+    "accuracy_from_logits",
+]
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax, numerically stable."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax probabilities."""
+    return np.exp(log_softmax(logits))
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, n_classes)`` scores.
+    labels:
+        ``(batch,)`` integer class labels.
+
+    Returns
+    -------
+    ``(loss, grad)`` where ``grad`` has the same shape as ``logits`` and
+    already includes the ``1/batch`` factor, so downstream backprop can
+    sum over the batch dimension.
+    """
+    batch = logits.shape[0]
+    log_probs = log_softmax(logits)
+    loss = float(-log_probs[np.arange(batch), labels].mean())
+    grad = np.exp(log_probs)
+    grad[np.arange(batch), labels] -= 1.0
+    grad /= batch
+    return loss, grad
+
+
+def accuracy_from_logits(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of ``logits`` against integer ``labels``."""
+    predictions = logits.argmax(axis=1)
+    return float((predictions == labels).mean())

@@ -1,0 +1,103 @@
+"""Convergence detection and time-to-accuracy.
+
+Paper semantics (Section VI-A):
+
+* "A model is said to be converged if its test accuracy has not changed
+  for more than 0.1% for five evaluations and we report the
+  corresponding value as the converged accuracy."
+* "Time-to-accuracy (TTA) denotes the time to reach a specified test
+  accuracy threshold"; the threshold used is the average converged
+  accuracy of the BSP runs in the same setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ConvergenceTracker", "time_to_accuracy"]
+
+
+@dataclass
+class ConvergenceTracker:
+    """Streaming detector for the paper's accuracy-plateau criterion.
+
+    Feed ``(time, step, accuracy)`` observations via :meth:`update`;
+    the tracker reports the first window of ``window`` consecutive
+    evaluations whose accuracy spread is at most ``tolerance``.
+    """
+
+    tolerance: float = 0.001
+    window: int = 5
+    times: list[float] = field(default_factory=list)
+    steps: list[int] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    _converged_index: int | None = None
+
+    def __post_init__(self):
+        if self.tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        if self.window < 2:
+            raise ConfigurationError("window must be at least 2")
+
+    def update(self, time: float, step: int, accuracy: float) -> None:
+        """Record one evaluation point."""
+        self.times.append(float(time))
+        self.steps.append(int(step))
+        self.accuracies.append(float(accuracy))
+        if self._converged_index is None and len(self.accuracies) >= self.window:
+            tail = self.accuracies[-self.window :]
+            if max(tail) - min(tail) <= self.tolerance:
+                self._converged_index = len(self.accuracies) - 1
+
+    @property
+    def converged(self) -> bool:
+        """Whether a stable window has been observed."""
+        return self._converged_index is not None
+
+    @property
+    def converged_accuracy(self) -> float | None:
+        """Accuracy at the end of the first stable window, if any."""
+        if self._converged_index is None:
+            return None
+        return self.accuracies[self._converged_index]
+
+    @property
+    def converged_time(self) -> float | None:
+        """Simulated time at which convergence was declared, if any."""
+        if self._converged_index is None:
+            return None
+        return self.times[self._converged_index]
+
+    @property
+    def final_accuracy(self) -> float | None:
+        """Last recorded accuracy (None before any update)."""
+        return self.accuracies[-1] if self.accuracies else None
+
+    @property
+    def best_accuracy(self) -> float | None:
+        """Highest recorded accuracy (None before any update)."""
+        return max(self.accuracies) if self.accuracies else None
+
+    def reported_accuracy(self) -> float | None:
+        """The accuracy the paper would report for this run.
+
+        The converged value when the plateau criterion fired, otherwise
+        the final evaluation (for runs whose budget ended first).
+        """
+        if self.converged:
+            return self.converged_accuracy
+        return self.final_accuracy
+
+
+def time_to_accuracy(
+    times: list[float], accuracies: list[float], threshold: float
+) -> float | None:
+    """First time at which accuracy reaches ``threshold`` (None if never)."""
+    if len(times) != len(accuracies):
+        raise ConfigurationError("times and accuracies must align")
+    for time, accuracy in zip(times, accuracies):
+        if accuracy >= threshold:
+            return time
+    return None

@@ -1,0 +1,193 @@
+"""SGD with momentum, learning-rate schedules and momentum schedules.
+
+The paper's setup (Section VI-A): SGD with momentum 0.9, base learning
+rate 0.1, a piecewise decay that multiplies the learning rate by 0.1 at
+50% of the step budget and by 0.01 at 75%, and the linear scaling rule
+``lr_BSP = n * lr`` for synchronous training (Section IV-C).
+
+The momentum *schedules* implement the configuration-policy ablation of
+Fig. 8(b): after switching BSP->ASP one can keep the momentum constant
+(the paper's choice), zero it, fix it to ``1/n``, or ramp it back up
+linearly (``i/n``) or nonlinearly (``2^i/n``) over post-switch epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PiecewiseDecaySchedule",
+    "MomentumSGD",
+    "MomentumSchedule",
+    "ConstantMomentum",
+    "ZeroMomentum",
+    "FixedScaledMomentum",
+    "LinearRampMomentum",
+    "NonlinearRampMomentum",
+]
+
+
+@dataclass(frozen=True)
+class PiecewiseDecaySchedule:
+    """Learning rate as a piecewise-constant function of progress.
+
+    ``boundaries`` are fractions of the total step budget; ``factors``
+    multiply ``base_lr`` once the corresponding boundary is passed.
+    With the paper's defaults the learning rate is ``base_lr`` on
+    [0, 0.5), ``0.1 * base_lr`` on [0.5, 0.75) and ``0.01 * base_lr``
+    afterwards.
+    """
+
+    base_lr: float
+    boundaries: tuple[float, ...] = (0.5, 0.75)
+    factors: tuple[float, ...] = (0.1, 0.01)
+
+    def __post_init__(self):
+        if self.base_lr <= 0:
+            raise ConfigurationError("base_lr must be positive")
+        if len(self.boundaries) != len(self.factors):
+            raise ConfigurationError("boundaries and factors must align")
+        if any(not 0.0 < b < 1.0 for b in self.boundaries):
+            raise ConfigurationError("boundaries must lie in (0, 1)")
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ConfigurationError("boundaries must be increasing")
+        if any(f <= 0 for f in self.factors):
+            raise ConfigurationError("factors must be positive")
+
+    def lr_at(self, fraction: float) -> float:
+        """Learning rate at ``fraction`` (clipped to [0, 1]) of the budget."""
+        fraction = min(max(fraction, 0.0), 1.0)
+        lr = self.base_lr
+        for boundary, factor in zip(self.boundaries, self.factors):
+            if fraction >= boundary:
+                lr = self.base_lr * factor
+        return lr
+
+    def scaled(self, multiplier: float) -> "PiecewiseDecaySchedule":
+        """Linear-scaling-rule variant: same shape, ``multiplier``x base."""
+        if multiplier <= 0:
+            raise ConfigurationError("multiplier must be positive")
+        return replace(self, base_lr=self.base_lr * multiplier)
+
+
+class MomentumSchedule:
+    """Momentum as a function of epochs elapsed since a protocol switch."""
+
+    name = "abstract"
+
+    def value(self, epochs_after_switch: float) -> float:
+        """Momentum coefficient ``epochs_after_switch`` epochs in."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantMomentum(MomentumSchedule):
+    """Keep the original momentum — the paper's configuration policy."""
+
+    momentum: float = 0.9
+    name: str = "baseline"
+
+    def value(self, epochs_after_switch: float) -> float:
+        return self.momentum
+
+
+@dataclass(frozen=True)
+class ZeroMomentum(MomentumSchedule):
+    """Drop momentum to zero after the switch (Fig. 8b variant i)."""
+
+    name: str = "zero"
+
+    def value(self, epochs_after_switch: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FixedScaledMomentum(MomentumSchedule):
+    """Fix momentum to ``1/n`` after the switch (Fig. 8b variant ii)."""
+
+    n_workers: int = 8
+    name: str = "fixed-scaled"
+
+    def value(self, epochs_after_switch: float) -> float:
+        return 1.0 / self.n_workers
+
+
+@dataclass(frozen=True)
+class LinearRampMomentum(MomentumSchedule):
+    """Ramp momentum up as ``i/n``, capped at the original value."""
+
+    momentum: float = 0.9
+    n_workers: int = 8
+    name: str = "linear-ramp"
+
+    def value(self, epochs_after_switch: float) -> float:
+        return min(self.momentum, max(epochs_after_switch, 0.0) / self.n_workers)
+
+
+@dataclass(frozen=True)
+class NonlinearRampMomentum(MomentumSchedule):
+    """Ramp momentum up as ``2^i/n``, capped at the original value."""
+
+    momentum: float = 0.9
+    n_workers: int = 8
+    name: str = "nonlinear-ramp"
+
+    def value(self, epochs_after_switch: float) -> float:
+        if epochs_after_switch < 0:
+            return 0.0
+        return min(self.momentum, (2.0 ** epochs_after_switch) / self.n_workers)
+
+
+class MomentumSGD:
+    """Heavy-ball SGD: ``v <- m*v - lr*g``; ``w <- w + v``.
+
+    The velocity buffer is the optimizer's only state; it lives on the
+    parameter server and is included in checkpoints, matching
+    TensorFlow's slot-variable behaviour across restore.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        momentum: float = 0.9,
+        dtype: np.dtype | type = np.float32,
+    ):
+        if size <= 0:
+            raise ConfigurationError("parameter size must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.velocity = np.zeros(size, dtype=dtype)
+
+    def step(
+        self,
+        params: np.ndarray,
+        grad: np.ndarray,
+        lr: float,
+        momentum: float | None = None,
+    ) -> None:
+        """Apply one update in place to ``params``."""
+        coefficient = self.momentum if momentum is None else momentum
+        self.velocity *= coefficient
+        self.velocity -= lr * grad
+        params += self.velocity
+
+    def state(self) -> dict[str, np.ndarray | float]:
+        """Snapshot of the optimizer state (copies, checkpoint-safe)."""
+        return {"momentum": self.momentum, "velocity": self.velocity.copy()}
+
+    def load_state(self, state: dict[str, np.ndarray | float]) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+        velocity = np.asarray(state["velocity"], dtype=self.velocity.dtype)
+        if velocity.shape != self.velocity.shape:
+            raise ConfigurationError("velocity shape mismatch on restore")
+        self.momentum = float(state["momentum"])
+        self.velocity = velocity.copy()
+
+    def reset(self) -> None:
+        """Zero the velocity buffer."""
+        self.velocity[:] = 0.0

@@ -1,0 +1,47 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library receives an explicit
+``numpy.random.Generator`` or an integer seed.  Child seeds are derived
+from a root seed plus a string label with a stable (non-salted) hash, so
+the same ``(seed, label)`` pair always yields the same stream regardless
+of the order in which other components are seeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stable_hash", "make_rng", "child_seed", "child_rng"]
+
+_FNV_OFFSET = 14695981039346656037
+_FNV_PRIME = 1099511628211
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(label: str) -> int:
+    """Return a stable 64-bit FNV-1a hash of ``label``.
+
+    Python's built-in ``hash`` is salted per interpreter run, which
+    would break reproducibility across processes; this one is not.
+    """
+    digest = _FNV_OFFSET
+    for byte in label.encode("utf-8"):
+        digest = ((digest ^ byte) * _FNV_PRIME) & _MASK64
+    return digest
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator from a seed, passing through existing generators."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def child_seed(seed: int, label: str) -> int:
+    """Derive a deterministic child seed for ``label`` from a root seed."""
+    return stable_hash(f"{seed}/{label}") & _MASK64
+
+
+def child_rng(seed: int, label: str) -> np.random.Generator:
+    """Return a Generator seeded by ``child_seed(seed, label)``."""
+    return np.random.default_rng(child_seed(seed, label))

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Simulation-backed tests run at tiny scale (hundreds of steps) and share
+a session-scoped result cache so repeated fixtures don't retrain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.distsim.job import JobConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.mlcore.datasets import make_dataset
+from repro.mlcore.models import make_model
+
+
+@pytest.fixture(scope="session")
+def tiny_job() -> JobConfig:
+    """A fast-but-real training job (setup-1 workload, tiny budget)."""
+    return JobConfig(
+        model="resnet32-sim",
+        dataset="cifar10-sim",
+        total_steps=640,
+        batch_size=128,
+        base_lr=0.004,
+        eval_every=80,
+        loss_log_every=40,
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def spec8() -> ClusterSpec:
+    """An 8-worker cluster spec."""
+    return ClusterSpec(n_workers=8)
+
+
+@pytest.fixture()
+def spec16() -> ClusterSpec:
+    """A 16-worker cluster spec."""
+    return ClusterSpec(n_workers=16)
+
+
+@pytest.fixture()
+def cluster8(spec8) -> Cluster:
+    """An 8-worker cluster."""
+    return Cluster(spec8)
+
+
+@pytest.fixture(scope="session")
+def model32():
+    """The setup-1 model."""
+    return make_model("resnet32-sim")
+
+
+@pytest.fixture(scope="session")
+def dataset10():
+    """The setup-1 dataset."""
+    return make_dataset("cifar10-sim")
+
+
+@pytest.fixture(scope="session")
+def tiny_runner(tmp_path_factory) -> ExperimentRunner:
+    """Session-scoped cached runner at tiny scale."""
+    cache = tmp_path_factory.mktemp("exp_cache")
+    return ExperimentRunner(scale=0.01, seeds=2, cache_dir=cache)

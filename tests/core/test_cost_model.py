@@ -1,0 +1,130 @@
+"""Tests for the search-cost Monte-Carlo simulator."""
+
+import pytest
+
+from repro.core.search import ProfileModel, SearchCostSimulator, SearchSetting
+from repro.errors import SearchError
+
+
+def profile(noise=0.0, knee=0.0625) -> ProfileModel:
+    """Synthetic profile: plateau 0.92 at/above knee, dip below."""
+    samples = {}
+    for fraction in (0.0, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0):
+        if fraction >= knee:
+            accuracy = 0.92
+        else:
+            accuracy = 0.92 - 1.2 * (knee - fraction)
+        time = 100.0 * (0.15 + 0.85 * fraction)
+        runs = []
+        for index in range(5):
+            wiggle = noise * (-1) ** index * (index / 4.0)
+            runs.append((accuracy + wiggle, time))
+        samples[fraction] = runs
+    return ProfileModel(samples)
+
+
+class TestProfileModel:
+    def test_mean_at_measured_fraction(self):
+        model = profile()
+        assert model.mean_accuracy(1.0) == pytest.approx(0.92)
+        assert model.mean_time(1.0) == pytest.approx(100.0)
+
+    def test_interpolation_between_fractions(self):
+        model = profile()
+        mid = model.mean_time(0.375)  # halfway between 0.25 and 0.5
+        assert mid == pytest.approx(
+            (model.mean_time(0.25) + model.mean_time(0.5)) / 2
+        )
+
+    def test_extrapolation_clamps_to_ends(self):
+        model = profile()
+        assert model.mean_accuracy(0.0) == model.mean_accuracy(-0.0)
+        assert model.mean_time(1.0) == model.bsp_mean_time()
+
+    def test_sample_draws_from_runs(self):
+        import numpy as np
+
+        model = profile(noise=0.01)
+        rng = np.random.default_rng(0)
+        draws = {model.sample(0.0625, rng)[0] for _ in range(50)}
+        assert len(draws) > 1  # hits multiple recorded runs
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            ProfileModel({})
+        with pytest.raises(SearchError):
+            ProfileModel({1.5: [(0.9, 10.0)]})
+        with pytest.raises(SearchError):
+            ProfileModel({0.5: []})
+        model = profile()
+        with pytest.raises(SearchError):
+            model.mean_accuracy(2.0)
+
+
+class TestSearchSetting:
+    def test_labels(self):
+        assert SearchSetting(False, 5, 5).label() == "(No, 5, 5)"
+        assert SearchSetting(True, 0, 3).label() == "(Yes, 0, 3)"
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            SearchSetting(True, 2, 3)  # recurring jobs have no BSP runs
+        with pytest.raises(SearchError):
+            SearchSetting(False, 0, 3)  # new jobs need BSP runs
+        with pytest.raises(SearchError):
+            SearchSetting(False, 1, 0)
+
+
+class TestSearchCostSimulator:
+    def test_ground_truth_is_the_knee(self):
+        simulator = SearchCostSimulator(profile(), max_settings=5, beta=0.01)
+        assert simulator.ground_truth_fraction == pytest.approx(0.0625)
+
+    def test_noise_free_success_is_certain(self):
+        simulator = SearchCostSimulator(profile(), max_settings=5, beta=0.01)
+        report = simulator.simulate(SearchSetting(False, 5, 5), 50)
+        assert report.success_probability == 1.0
+
+    def test_recurring_jobs_cost_less(self):
+        simulator = SearchCostSimulator(profile(), max_settings=5, beta=0.01)
+        new = simulator.simulate(SearchSetting(False, 5, 5), 50)
+        recurring = simulator.simulate(SearchSetting(True, 0, 5), 50)
+        assert recurring.search_cost_x < new.search_cost_x
+
+    def test_fewer_runs_cost_less(self):
+        simulator = SearchCostSimulator(profile(), max_settings=5, beta=0.01)
+        many = simulator.simulate(SearchSetting(False, 5, 5), 50)
+        few = simulator.simulate(SearchSetting(False, 1, 1), 50)
+        assert few.search_cost_x < many.search_cost_x
+
+    def test_noise_reduces_success_probability(self):
+        noisy = SearchCostSimulator(
+            profile(noise=0.03), max_settings=5, beta=0.01, seed=1
+        )
+        report = noisy.simulate(SearchSetting(False, 1, 1), 300)
+        assert report.success_probability < 1.0
+
+    def test_amortization_uses_policy_saving(self):
+        simulator = SearchCostSimulator(profile(), max_settings=5, beta=0.01)
+        report = simulator.simulate(SearchSetting(True, 0, 1), 20)
+        saving = 1.0 - simulator.profile.mean_time(0.0625) / 100.0
+        assert report.amortization_recurrences == pytest.approx(
+            report.search_cost_x / saving
+        )
+
+    def test_effective_training_positive(self):
+        simulator = SearchCostSimulator(profile(), max_settings=5, beta=0.01)
+        report = simulator.simulate(SearchSetting(False, 3, 3), 50)
+        assert report.effective_training_x > 0.0
+
+    def test_row_formatting(self):
+        simulator = SearchCostSimulator(profile(), max_settings=5, beta=0.01)
+        row = simulator.simulate(SearchSetting(False, 5, 5), 10).row()
+        assert row["setting"] == "(No, 5, 5)"
+        assert row["search_cost"].endswith("X")
+        assert row["success_probability"].endswith("%")
+
+    def test_simulation_count_validated(self):
+        simulator = SearchCostSimulator(profile(), max_settings=5)
+        with pytest.raises(SearchError):
+            simulator.simulate(SearchSetting(False, 5, 5), 0)

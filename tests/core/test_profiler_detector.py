@@ -1,0 +1,162 @@
+"""Tests for the throughput profiler and straggler detector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import StragglerDetector, ThroughputProfiler
+from repro.errors import ConfigurationError
+
+
+class TestProfiler:
+    def test_throughput_from_durations(self):
+        profiler = ThroughputProfiler(batch_size=128, window=3)
+        profiler.observe(0, 0.5)
+        assert profiler.throughput(0) == pytest.approx(256.0)
+
+    def test_sliding_window_drops_old_samples(self):
+        profiler = ThroughputProfiler(batch_size=128, window=2)
+        profiler.observe(0, 10.0)
+        profiler.observe(0, 1.0)
+        profiler.observe(0, 1.0)
+        assert profiler.throughput(0) == pytest.approx(128.0)
+
+    def test_unknown_worker_is_none(self):
+        profiler = ThroughputProfiler(batch_size=128)
+        assert profiler.throughput(3) is None
+        assert profiler.throughputs() == {}
+
+    def test_observations_counter(self):
+        profiler = ThroughputProfiler(batch_size=128, window=2)
+        for _ in range(5):
+            profiler.observe(1, 0.3)
+        assert profiler.observations(1) == 5
+
+    def test_forget_and_reset(self):
+        profiler = ThroughputProfiler(batch_size=128)
+        profiler.observe(0, 0.3)
+        profiler.observe(1, 0.3)
+        profiler.forget(0)
+        assert profiler.throughput(0) is None
+        profiler.reset()
+        assert profiler.throughputs() == {}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler(batch_size=0)
+        profiler = ThroughputProfiler(batch_size=128)
+        with pytest.raises(ConfigurationError):
+            profiler.observe(0, 0.0)
+
+
+def healthy(n=8, value=470.0) -> dict:
+    return {worker: value for worker in range(n)}
+
+
+class TestDetector:
+    def test_no_flags_on_identical_throughputs(self):
+        detector = StragglerDetector(consecutive=2)
+        for _ in range(10):
+            assert detector.observe_window(healthy()) == set()
+        assert detector.cluster_clear
+
+    def test_flags_sustained_slow_worker(self):
+        detector = StragglerDetector(consecutive=3)
+        window = healthy()
+        window[5] = 150.0  # well below the 0.8*mean guard
+        newly = set()
+        for _ in range(3):
+            newly = detector.observe_window(window)
+        assert newly == {5}
+        assert detector.flagged == {5}
+
+    def test_brief_blip_does_not_flag(self):
+        detector = StragglerDetector(consecutive=3)
+        slow = healthy()
+        slow[2] = 150.0
+        detector.observe_window(slow)
+        detector.observe_window(healthy())
+        detector.observe_window(slow)
+        detector.observe_window(healthy())
+        assert detector.cluster_clear
+
+    def test_mild_jitter_below_guard_not_flagged(self):
+        """A worker 10% slower than the mean must not be flagged."""
+        detector = StragglerDetector(consecutive=2)
+        window = healthy()
+        window[1] = 0.9 * 470.0
+        for _ in range(6):
+            detector.observe_window(window)
+        assert detector.cluster_clear
+
+    def test_clearing_after_recovery(self):
+        detector = StragglerDetector(consecutive=2, clear_windows=3)
+        slow = healthy()
+        slow[0] = 100.0
+        for _ in range(2):
+            detector.observe_window(slow)
+        assert not detector.cluster_clear
+        for _ in range(3):
+            detector.observe_window(healthy())
+        assert detector.cluster_clear
+        assert detector.stable_clear()
+
+    def test_stable_clear_requires_observed_windows(self):
+        detector = StragglerDetector(clear_windows=5)
+        assert detector.cluster_clear
+        assert not detector.stable_clear()
+
+    def test_flagged_worker_excluded_from_baseline(self):
+        """One extreme straggler must not mask a second, milder one."""
+        detector = StragglerDetector(consecutive=2)
+        window = healthy()
+        window[0] = 20.0
+        for _ in range(3):
+            detector.observe_window(window)
+        assert 0 in detector.flagged
+        window[1] = 250.0  # slow vs healthy mean, masked if 20.0 included
+        for _ in range(3):
+            detector.observe_window(window)
+        assert 1 in detector.flagged
+
+    def test_unflag(self):
+        detector = StragglerDetector(consecutive=1)
+        window = healthy()
+        window[3] = 50.0
+        detector.observe_window(window)
+        assert 3 in detector.flagged
+        detector.unflag(3)
+        assert detector.cluster_clear
+
+    def test_reset(self):
+        detector = StragglerDetector(consecutive=1)
+        window = healthy()
+        window[3] = 50.0
+        detector.observe_window(window)
+        detector.reset()
+        assert detector.cluster_clear
+        assert detector.clean_streak == 0
+
+    def test_single_worker_window_never_flags(self):
+        detector = StragglerDetector(consecutive=1)
+        assert detector.observe_window({0: 100.0}) == set()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StragglerDetector(consecutive=0)
+        with pytest.raises(ConfigurationError):
+            StragglerDetector(min_slowdown_ratio=0.0)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=15),
+            st.floats(min_value=1.0, max_value=1e4),
+            min_size=2,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=40)
+    def test_flags_are_subset_of_observed_workers(self, window):
+        detector = StragglerDetector(consecutive=1)
+        newly = detector.observe_window(window)
+        assert newly <= set(window)

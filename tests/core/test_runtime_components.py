@@ -1,0 +1,139 @@
+"""Tests for checkpoints, hooks and actuators."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import (
+    CheckpointStore,
+    HookManager,
+    ParallelActuator,
+    SequentialActuator,
+)
+from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.distsim.engines import ASPEngine
+from repro.distsim.engines.base import TrainingSession
+from repro.distsim.job import JobConfig
+from repro.distsim.timing import timing_for
+from repro.errors import ConfigurationError
+from repro.mlcore.datasets import make_dataset
+from repro.mlcore.models import make_model
+
+
+def make_session(seed=0) -> TrainingSession:
+    job = JobConfig(
+        model="resnet32-sim",
+        dataset="cifar10-sim",
+        total_steps=200,
+        base_lr=0.004,
+        seed=seed,
+    )
+    return TrainingSession(
+        job=job,
+        model=make_model("resnet32-sim"),
+        dataset=make_dataset("cifar10-sim"),
+        timing=timing_for("resnet32-sim"),
+        cluster=Cluster(ClusterSpec(n_workers=4)),
+    )
+
+
+class TestCheckpointStore:
+    def test_save_restore_roundtrip_is_exact(self):
+        session = make_session()
+        ASPEngine().run(session, steps=20)
+        store = CheckpointStore()
+        checkpoint = store.save(session, tag="mid")
+        params_at_save = session.ps.peek().copy()
+        step_at_save = session.step
+        ASPEngine().run(session, steps=20)
+        store.restore(session, checkpoint)
+        assert np.array_equal(session.ps.peek(), params_at_save)
+        assert session.step == step_at_save
+
+    def test_restore_does_not_rewind_clock(self):
+        session = make_session()
+        ASPEngine().run(session, steps=20)
+        store = CheckpointStore()
+        checkpoint = store.save(session, tag="mid")
+        time_before_restore = session.clock.now
+        store.restore(session, checkpoint)
+        assert session.clock.now == time_before_restore
+
+    def test_latest_default(self):
+        session = make_session()
+        store = CheckpointStore()
+        store.save(session, tag="a")
+        ASPEngine().run(session, steps=8)
+        latest = store.save(session, tag="b")
+        assert store.latest is latest
+
+    def test_keep_last_evicts_oldest(self):
+        session = make_session()
+        store = CheckpointStore(keep_last=2)
+        for tag in ("a", "b", "c"):
+            store.save(session, tag=tag)
+        assert [checkpoint.tag for checkpoint in store] == ["b", "c"]
+
+    def test_restore_without_checkpoint_errors(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore().restore(make_session())
+
+    def test_checkpoint_records_version(self):
+        session = make_session()
+        ASPEngine().run(session, steps=12)
+        checkpoint = CheckpointStore().save(session, tag="v")
+        assert checkpoint.version == 12
+
+
+class TestHookManager:
+    def test_switch_cycle_returns_to_running(self):
+        hooks = HookManager(4)
+        hooks.broadcast("checkpoint", {})
+        hooks.broadcast("reconfigure", {"protocol": "asp"})
+        hooks.broadcast("restart", {})
+        hooks.drain()
+        assert hooks.all_running()
+        assert all(config["protocol"] == "asp" for config in hooks.configs())
+        assert all(hook.checkpoints_taken == 1 for hook in hooks.hooks)
+
+    def test_out_of_order_command_errors(self):
+        hooks = HookManager(2)
+        hooks.broadcast("restart", {})
+        with pytest.raises(ConfigurationError, match="arrived in state"):
+            hooks.drain()
+
+    def test_unknown_command_rejected_at_enqueue(self):
+        hooks = HookManager(2)
+        with pytest.raises(ConfigurationError, match="unknown hook command"):
+            hooks.broadcast("reboot", {})
+
+    def test_metric_reporting_counts(self):
+        hooks = HookManager(1)
+        hooks.hooks[0].report_metric()
+        hooks.hooks[0].report_metric()
+        assert hooks.hooks[0].metrics_sent == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HookManager(0)
+
+
+class TestActuators:
+    def test_costs_match_table_3(self):
+        parallel = ParallelActuator()
+        sequential = SequentialActuator()
+        assert parallel.switch_time(8) == pytest.approx(36.0)
+        assert parallel.init_time(16) == pytest.approx(128.0)
+        assert sequential.switch_time(16) == pytest.approx(165.4, abs=1.0)
+
+    def test_actuate_switch_drives_hooks_and_returns_cost(self):
+        actuator = ParallelActuator()
+        hooks = HookManager(8)
+        cost = actuator.actuate_switch(hooks, "asp", {"lr_multiplier": 1.0})
+        assert cost == pytest.approx(36.0)
+        assert hooks.all_running()
+        assert hooks.configs()[0]["protocol"] == "asp"
+
+    def test_time_scale(self):
+        assert ParallelActuator(time_scale=0.1).switch_time(8) == pytest.approx(
+            3.6
+        )

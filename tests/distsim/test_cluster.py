@@ -1,0 +1,73 @@
+"""Tests for cluster membership and elasticity."""
+
+import pytest
+
+from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.errors import ClusterError, ConfigurationError
+
+
+def test_spec_collocates_ps_and_workers():
+    spec = ClusterSpec(n_workers=8)
+    assert spec.n_parameter_servers == 8
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(n_workers=0)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(n_workers=4, gpu="")
+
+
+def test_all_workers_active_initially():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    assert cluster.active_workers == (0, 1, 2, 3)
+    assert cluster.n_active == 4
+
+
+def test_evict_removes_from_active():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    cluster.evict(2)
+    assert cluster.active_workers == (0, 1, 3)
+    assert not cluster.is_active(2)
+    assert cluster.is_active(0)
+
+
+def test_restore_brings_worker_back():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    cluster.evict(1)
+    cluster.restore(1)
+    assert cluster.active_workers == (0, 1, 2, 3)
+
+
+def test_restore_all():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    cluster.evict(0)
+    cluster.evict(3)
+    cluster.restore_all()
+    assert cluster.n_active == 4
+
+
+def test_double_evict_rejected():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    cluster.evict(1)
+    with pytest.raises(ClusterError):
+        cluster.evict(1)
+
+
+def test_evict_unknown_worker_rejected():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    with pytest.raises(ClusterError):
+        cluster.evict(7)
+
+
+def test_cannot_evict_last_worker():
+    cluster = Cluster(ClusterSpec(n_workers=2))
+    cluster.evict(0)
+    with pytest.raises(ClusterError):
+        cluster.evict(1)
+
+
+def test_restore_non_evicted_rejected():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    with pytest.raises(ClusterError):
+        cluster.restore(0)

@@ -1,0 +1,96 @@
+"""Engine behaviour under elastic cluster membership (evictions)."""
+
+import numpy as np
+import pytest
+
+from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.distsim.engines import ASPEngine, BSPEngine
+from repro.distsim.engines.base import TrainingSession
+from repro.distsim.job import JobConfig
+from repro.distsim.timing import timing_for
+from repro.mlcore.datasets import make_dataset
+from repro.mlcore.models import make_model
+
+
+def make_session(n_workers=4, total_steps=400, seed=0):
+    job = JobConfig(
+        model="resnet32-sim",
+        dataset="cifar10-sim",
+        total_steps=total_steps,
+        base_lr=0.004,
+        eval_every=200,
+        loss_log_every=100,
+        seed=seed,
+    )
+    return TrainingSession(
+        job=job,
+        model=make_model("resnet32-sim"),
+        dataset=make_dataset("cifar10-sim"),
+        timing=timing_for("resnet32-sim"),
+        cluster=Cluster(ClusterSpec(n_workers=n_workers)),
+    )
+
+
+class TestBSPWithEvictions:
+    def test_round_advances_by_active_count(self):
+        session = make_session(n_workers=4)
+        session.cluster.evict(2)
+        BSPEngine().run(session, steps=3)
+        assert session.step == 3  # one 3-worker round
+
+    def test_default_lr_multiplier_tracks_active_count(self):
+        """Linear scaling follows the *active* cluster (elastic policy)."""
+        evicted = make_session(n_workers=4, seed=9)
+        evicted.cluster.evict(3)
+        full = make_session(n_workers=4, seed=9)
+        initial = make_session(n_workers=4, seed=9).ps.peek().copy()
+        BSPEngine().run(evicted, steps=3)
+        BSPEngine().run(full, steps=4)
+        # different batch composition and lr -> different updates
+        assert not np.allclose(evicted.ps.peek(), full.ps.peek())
+        assert not np.allclose(evicted.ps.peek(), initial)
+
+    def test_global_batch_excludes_evicted_worker(self):
+        session = make_session(n_workers=4)
+        session.cluster.evict(0)
+        inputs, _ = session.global_batch(session.cluster.active_workers, 16)
+        assert inputs.shape[0] == 3 * 16
+
+    def test_mid_run_eviction_changes_round_size(self):
+        session = make_session(n_workers=4)
+        BSPEngine().run(session, steps=4)
+        session.cluster.evict(1)
+        BSPEngine().run(session, steps=3)
+        assert session.step == 7
+
+    def test_round_time_shrinks_with_smaller_cluster(self):
+        """A smaller barrier (fewer workers) means a cheaper round."""
+        big = make_session(n_workers=8, seed=1)
+        BSPEngine().run(big, steps=8)  # exactly one 8-worker round
+        small = make_session(n_workers=8, seed=1)
+        for worker in (5, 6, 7):
+            small.cluster.evict(worker)
+        BSPEngine().run(small, steps=5)  # exactly one 5-worker round
+        assert small.clock.now < big.clock.now
+
+
+class TestASPWithEvictions:
+    def test_evicted_worker_events_are_skipped(self):
+        session = make_session(n_workers=4)
+        engine = ASPEngine()
+        engine.run(session, steps=8)
+        session.cluster.evict(0)
+        engine.run(session, steps=8)
+        # run completes despite the stale event for worker 0 in flight
+        assert session.step == 16
+
+    def test_restored_worker_rejoins_next_segment(self):
+        session = make_session(n_workers=4)
+        session.cluster.evict(0)
+        ASPEngine().run(session, steps=8)
+        session.cluster.restore(0)
+        ASPEngine().run(session, steps=40)
+        workers_seen = {
+            worker for _, worker, _ in session.telemetry.worker_durations
+        }
+        assert 0 in workers_seen

@@ -1,0 +1,70 @@
+"""Tests for the provisioning/overhead model (paper Table III)."""
+
+import pytest
+
+from repro.distsim.overheads import ProvisioningModel
+from repro.errors import ConfigurationError
+
+
+class TestTableIIICalibration:
+    """The model reproduces the paper's Table III at 8 and 16 workers."""
+
+    def test_parallel_init(self):
+        model = ProvisioningModel(parallel=True)
+        assert model.init_time(8) == pytest.approx(90.0)
+        assert model.init_time(16) == pytest.approx(128.0)
+
+    def test_parallel_switch(self):
+        model = ProvisioningModel(parallel=True)
+        assert model.switch_time(8) == pytest.approx(36.0)
+        assert model.switch_time(16) == pytest.approx(53.0)
+
+    def test_sequential_init(self):
+        model = ProvisioningModel(parallel=False)
+        assert model.init_time(8) == pytest.approx(157.2, abs=1.0)
+        assert model.init_time(16) == pytest.approx(268.4, abs=1.0)
+
+    def test_sequential_switch(self):
+        model = ProvisioningModel(parallel=False)
+        assert model.switch_time(8) == pytest.approx(90.2, abs=1.0)
+        assert model.switch_time(16) == pytest.approx(165.4, abs=1.0)
+
+
+def test_parallel_beats_sequential():
+    parallel = ProvisioningModel(parallel=True)
+    sequential = ProvisioningModel(parallel=False)
+    for n_workers in (8, 16, 32):
+        assert parallel.init_time(n_workers) < sequential.init_time(n_workers)
+        assert parallel.switch_time(n_workers) < sequential.switch_time(n_workers)
+
+
+def test_parallel_scales_sublinearly():
+    """Doubling the cluster should far less than double the overhead."""
+    model = ProvisioningModel(parallel=True)
+    assert model.switch_time(16) < 2 * model.switch_time(8)
+    assert model.init_time(16) < 2 * model.init_time(8)
+
+
+def test_sequential_scales_linearly():
+    model = ProvisioningModel(parallel=False)
+    delta_1 = model.switch_time(16) - model.switch_time(8)
+    delta_2 = model.switch_time(24) - model.switch_time(16)
+    assert delta_1 == pytest.approx(delta_2)
+
+
+def test_resize_is_fraction_of_switch():
+    model = ProvisioningModel(parallel=True)
+    assert model.evict_time(8) == pytest.approx(0.5 * model.switch_time(8))
+    assert model.restore_time(8) == pytest.approx(0.5 * model.switch_time(8))
+
+
+def test_time_scale_shrinks_everything():
+    full = ProvisioningModel(parallel=True)
+    scaled = ProvisioningModel(parallel=True, time_scale=0.0625)
+    assert scaled.switch_time(8) == pytest.approx(0.0625 * full.switch_time(8))
+    assert scaled.init_time(16) == pytest.approx(0.0625 * full.init_time(16))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ProvisioningModel().init_time(0)

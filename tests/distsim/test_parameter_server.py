@@ -1,0 +1,114 @@
+"""Tests for the sharded parameter server."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsim.parameter_server import ShardedParameterServer
+from repro.errors import ConfigurationError
+from repro.mlcore.optim import MomentumSGD
+from repro.mlcore.params import ParameterLayout
+
+
+def make_ps(size=10, n_shards=3, momentum=0.9) -> ShardedParameterServer:
+    layout = ParameterLayout({"w": (size,)})
+    initial = np.arange(size, dtype=np.float64)
+    return ShardedParameterServer(layout, initial, n_shards, momentum=momentum)
+
+
+def test_pull_returns_copy_and_version():
+    ps = make_ps()
+    params, version = ps.pull()
+    assert version == 0
+    params[0] = 999.0
+    assert ps.peek()[0] == 0.0  # pull must not alias live params
+
+
+def test_push_increments_version():
+    ps = make_ps()
+    grad = np.ones(10)
+    assert ps.push(grad, lr=0.1) == 1
+    assert ps.push(grad, lr=0.1) == 2
+    assert ps.version == 2
+
+
+def test_push_matches_reference_sgd():
+    ps = make_ps(momentum=0.9)
+    reference = MomentumSGD(10, momentum=0.9, dtype=np.float64)
+    expected = np.arange(10, dtype=np.float64)
+    grad = np.linspace(0, 1, 10)
+    for _ in range(3):
+        ps.push(grad, lr=0.05)
+        reference.step(expected, grad, lr=0.05)
+    assert np.allclose(ps.peek(), expected)
+
+
+def test_staleness_accounting():
+    ps = make_ps()
+    _, version = ps.pull()
+    ps.push(np.ones(10), lr=0.1)
+    ps.push(np.ones(10), lr=0.1)
+    assert ps.staleness(version) == 2
+    with pytest.raises(ConfigurationError):
+        ps.staleness(99)
+
+
+def test_momentum_override_applies():
+    ps = make_ps(momentum=0.9)
+    before = ps.peek().copy()
+    ps.push(np.ones(10), lr=0.1, momentum=0.0)
+    ps.push(np.ones(10), lr=0.1, momentum=0.0)
+    assert np.allclose(ps.peek(), before - 0.2)
+
+
+def test_state_roundtrip_is_exact():
+    ps = make_ps()
+    ps.push(np.random.default_rng(0).normal(size=10), lr=0.1)
+    saved = ps.state()
+    ps.push(np.ones(10), lr=0.1)
+    ps.load_state(saved)
+    assert np.array_equal(ps.peek(), saved["params"])
+    assert ps.version == saved["version"]
+    assert np.array_equal(ps.optimizer.velocity, saved["optimizer"]["velocity"])
+
+
+def test_state_is_deep_copy():
+    ps = make_ps()
+    saved = ps.state()
+    ps.push(np.ones(10), lr=0.1)
+    assert np.array_equal(saved["params"], np.arange(10, dtype=np.float64))
+
+
+@given(
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=9),
+)
+@settings(max_examples=30)
+def test_every_index_owned_by_exactly_one_shard(size, n_shards):
+    ps = make_ps(size=size, n_shards=min(n_shards, size))
+    owners = [ps.shard_of(index) for index in range(size)]
+    assert min(owners) == 0
+    assert max(owners) == ps.n_shards - 1
+    # ownership is monotone non-decreasing over the flat vector
+    assert owners == sorted(owners)
+
+
+def test_shard_of_out_of_range():
+    ps = make_ps()
+    with pytest.raises(ConfigurationError):
+        ps.shard_of(10)
+
+
+def test_push_validation():
+    ps = make_ps()
+    with pytest.raises(ConfigurationError):
+        ps.push(np.ones(5), lr=0.1)
+    with pytest.raises(ConfigurationError):
+        ps.push(np.ones(10), lr=0.0)
+
+
+def test_init_shape_validation():
+    layout = ParameterLayout({"w": (10,)})
+    with pytest.raises(ConfigurationError):
+        ShardedParameterServer(layout, np.zeros(5), 2)

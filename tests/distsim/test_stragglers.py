@@ -1,0 +1,139 @@
+"""Tests for straggler schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsim.stragglers import (
+    StragglerEvent,
+    StragglerSchedule,
+    ambient_contention,
+    transient_scenario,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStragglerEvent:
+    def test_end_time(self):
+        event = StragglerEvent(worker=0, start=5.0, duration=10.0)
+        assert event.end == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StragglerEvent(worker=-1, start=0.0, duration=1.0)
+        with pytest.raises(ConfigurationError):
+            StragglerEvent(worker=0, start=0.0, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            StragglerEvent(worker=0, start=0.0, duration=1.0, slow_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            StragglerEvent(worker=0, start=0.0, duration=1.0, extra_latency=-1)
+
+
+class TestStragglerSchedule:
+    def test_state_outside_event_is_clean(self):
+        schedule = StragglerSchedule(
+            [StragglerEvent(worker=0, start=10.0, duration=5.0, slow_factor=3.0)]
+        )
+        assert schedule.state_at(0, 9.9) == (1.0, 0.0)
+        assert schedule.state_at(0, 15.0) == (1.0, 0.0)  # end exclusive
+        assert schedule.state_at(1, 12.0) == (1.0, 0.0)  # other worker
+
+    def test_state_inside_event(self):
+        schedule = StragglerSchedule(
+            [
+                StragglerEvent(
+                    worker=2, start=0.0, duration=10.0,
+                    slow_factor=2.0, extra_latency=0.01,
+                )
+            ]
+        )
+        assert schedule.state_at(2, 5.0) == (2.0, 0.01)
+        assert schedule.is_straggling(2, 5.0)
+        assert not schedule.is_straggling(2, 11.0)
+
+    def test_overlapping_events_compound(self):
+        schedule = StragglerSchedule(
+            [
+                StragglerEvent(worker=0, start=0.0, duration=10.0, slow_factor=2.0),
+                StragglerEvent(
+                    worker=0, start=5.0, duration=10.0,
+                    slow_factor=3.0, extra_latency=0.02,
+                ),
+            ]
+        )
+        factor, latency = schedule.state_at(0, 7.0)
+        assert factor == pytest.approx(6.0)
+        assert latency == pytest.approx(0.02)
+
+    def test_active_workers(self):
+        schedule = StragglerSchedule(
+            [
+                StragglerEvent(worker=0, start=0.0, duration=10.0, slow_factor=2.0),
+                StragglerEvent(worker=3, start=5.0, duration=10.0, slow_factor=2.0),
+            ]
+        )
+        assert schedule.active_workers(2.0) == {0}
+        assert schedule.active_workers(7.0) == {0, 3}
+        assert schedule.active_workers(20.0) == set()
+
+    def test_next_clear_time(self):
+        schedule = StragglerSchedule(
+            [
+                StragglerEvent(worker=0, start=0.0, duration=10.0, slow_factor=2.0),
+                StragglerEvent(worker=1, start=8.0, duration=10.0, slow_factor=2.0),
+            ]
+        )
+        assert schedule.next_clear_time(5.0) == pytest.approx(18.0)  # chained
+        assert schedule.next_clear_time(20.0) is None
+
+    def test_merged_with(self):
+        a = StragglerSchedule(
+            [StragglerEvent(worker=0, start=0.0, duration=1.0, slow_factor=2.0)]
+        )
+        b = StragglerSchedule(
+            [StragglerEvent(worker=1, start=0.0, duration=1.0, slow_factor=2.0)]
+        )
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert len(a) == 1  # original untouched
+
+
+class TestGenerators:
+    def test_ambient_contention_covers_all_workers(self):
+        rng = np.random.default_rng(0)
+        schedule = ambient_contention(4, horizon=1000.0, rng=rng)
+        workers = {event.worker for event in schedule.events}
+        assert workers == {0, 1, 2, 3}
+
+    def test_ambient_events_within_horizon(self):
+        rng = np.random.default_rng(1)
+        schedule = ambient_contention(2, horizon=500.0, rng=rng)
+        assert all(event.start < 500.0 for event in schedule.events)
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_transient_scenario_event_count(self, n_stragglers, occurrences):
+        rng = np.random.default_rng(0)
+        schedule = transient_scenario(
+            n_stragglers, occurrences, latency=0.01,
+            window=(0.0, 500.0), rng=rng, n_workers=8,
+        )
+        assert len(schedule) == n_stragglers * occurrences
+
+    def test_transient_scenario_distinct_workers(self):
+        rng = np.random.default_rng(0)
+        schedule = transient_scenario(
+            3, 2, latency=0.03, window=(0.0, 500.0), rng=rng, n_workers=8
+        )
+        by_worker = {event.worker for event in schedule.events}
+        assert len(by_worker) == 3
+
+    def test_transient_scenario_rejects_too_many(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            transient_scenario(9, 1, 0.01, (0.0, 10.0), rng, n_workers=8)
+
+    def test_ambient_validation(self):
+        with pytest.raises(ConfigurationError):
+            ambient_contention(0, 100.0, np.random.default_rng(0))

@@ -1,0 +1,134 @@
+"""Tests for the timing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsim.timing import TIMING_REGISTRY, TimingModel, timing_for
+from repro.errors import ConfigurationError
+
+
+def model() -> TimingModel:
+    return TimingModel(
+        batch_overhead=0.1,
+        per_sample=0.001,
+        sync_base=0.3,
+        sync_per_worker=0.1,
+        ps_apply=0.005,
+        jitter_sigma=0.0,  # deterministic for exact assertions
+    )
+
+
+def test_compute_time_linear_in_batch():
+    rng = np.random.default_rng(0)
+    t128 = model().compute_time(128, rng)
+    t256 = model().compute_time(256, rng)
+    assert t128 == pytest.approx(0.1 + 0.128)
+    assert t256 == pytest.approx(0.1 + 0.256)
+
+
+def test_small_batches_are_inefficient_per_image():
+    """Fig 8a mechanism: fixed overhead dominates small batches."""
+    rng = np.random.default_rng(0)
+    per_image_small = model().compute_time(16, rng) / 16
+    per_image_large = model().compute_time(1024, rng) / 1024
+    assert per_image_small > per_image_large
+
+
+def test_slow_factor_scales_compute():
+    rng = np.random.default_rng(0)
+    base = model().compute_time(128, rng)
+    slowed = model().compute_time(128, rng, slow_factor=4.0)
+    assert slowed == pytest.approx(4.0 * base)
+
+
+def test_extra_latency_adds_rtt_multiple():
+    rng = np.random.default_rng(0)
+    base = model().compute_time(128, rng)
+    latency = model().compute_time(128, rng, extra_latency=0.010)
+    assert latency == pytest.approx(base + 0.010 * 20.0)
+
+
+def test_jitter_randomises_compute_time():
+    noisy = TimingModel(
+        batch_overhead=0.1,
+        per_sample=0.001,
+        sync_base=0.3,
+        sync_per_worker=0.1,
+        ps_apply=0.005,
+        jitter_sigma=0.2,
+    )
+    rng = np.random.default_rng(0)
+    draws = {noisy.compute_time(128, rng) for _ in range(8)}
+    assert len(draws) == 8
+
+
+def test_mean_compute_time_matches_lognormal_mean():
+    noisy = TimingModel(
+        batch_overhead=0.1,
+        per_sample=0.001,
+        sync_base=0.3,
+        sync_per_worker=0.1,
+        ps_apply=0.005,
+        jitter_sigma=0.1,
+    )
+    rng = np.random.default_rng(0)
+    draws = [noisy.compute_time(128, rng) for _ in range(4000)]
+    assert np.mean(draws) == pytest.approx(
+        noisy.mean_compute_time(128), rel=0.02
+    )
+
+
+def test_sync_overhead_grows_with_cluster():
+    assert model().sync_overhead(16) > model().sync_overhead(8)
+    assert model().sync_overhead(8) == pytest.approx(0.3 + 0.8)
+
+
+def test_bsp_round_time_is_max_plus_sync():
+    durations = [0.2, 0.5, 0.3]
+    assert model().bsp_round_time(durations, 3) == pytest.approx(
+        0.5 + model().sync_overhead(3)
+    )
+
+
+@given(st.integers(min_value=1, max_value=64))
+@settings(max_examples=30)
+def test_sync_overhead_monotone(n):
+    assert model().sync_overhead(n + 1) >= model().sync_overhead(n)
+
+
+def test_registry_covers_both_workloads():
+    assert ("resnet32-sim", "k80") in TIMING_REGISTRY
+    assert ("resnet50-sim", "k80") in TIMING_REGISTRY
+
+
+def test_resnet50_slower_per_batch_than_resnet32():
+    small = timing_for("resnet32-sim")
+    large = timing_for("resnet50-sim")
+    assert large.mean_compute_time(128) > small.mean_compute_time(128)
+
+
+def test_timing_for_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        timing_for("resnet32-sim", "tpu")
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        TimingModel(
+            batch_overhead=0.0,
+            per_sample=0.001,
+            sync_base=0.1,
+            sync_per_worker=0.1,
+            ps_apply=0.001,
+        )
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        model().compute_time(0, rng)
+    with pytest.raises(ConfigurationError):
+        model().compute_time(128, rng, slow_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        model().sync_overhead(0)
+    with pytest.raises(ConfigurationError):
+        model().bsp_round_time([], 3)

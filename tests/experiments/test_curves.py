@@ -1,0 +1,60 @@
+"""Tests for ASCII curve rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.curves import curve_panel, sparkline
+from repro.experiments.curves import _resample
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_uses_increasing_ticks(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] < line[1] < line[2]
+
+    def test_log_scale_compresses_large_ranges(self):
+        linear = sparkline([1.0, 10.0, 100.0, 1000.0])
+        logged = sparkline([1.0, 10.0, 100.0, 1000.0], log_scale=True)
+        # log scale spreads the small values apart
+        assert len(set(logged)) >= len(set(linear))
+
+    def test_handles_nonpositive_values_on_log_scale(self):
+        line = sparkline([0.0, 1.0], log_scale=True)
+        assert len(line) == 2
+
+
+class TestResample:
+    def test_width(self):
+        values = _resample([0, 10, 20], [1.0, 2.0, 3.0], width=7)
+        assert len(values) == 7
+        assert values[0] == 1.0
+        assert values[-1] == 3.0
+
+    def test_single_point(self):
+        assert _resample([5], [4.2], width=3) == [4.2, 4.2, 4.2]
+
+    def test_empty(self):
+        assert _resample([], [], width=5) == []
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            _resample([0], [1.0], width=0)
+
+
+class TestCurvePanel:
+    def test_contains_label_and_last_value(self):
+        panel = curve_panel("BSP", [0, 100, 200], [2.0, 1.0, 0.5], width=20)
+        assert "BSP" in panel
+        assert "last=0.5" in panel
+        assert "|" in panel
+
+    def test_no_data(self):
+        assert "(no data)" in curve_panel("x", [], [])

@@ -1,0 +1,111 @@
+"""Tests for report rendering and aggregation helpers."""
+
+import pytest
+
+from repro.distsim.telemetry import TrainingResult
+from repro.experiments.aggregate import (
+    accuracy_stats,
+    divergence_rate,
+    mean,
+    mean_time_to_accuracy,
+    std,
+    time_stats,
+)
+from repro.experiments.reporting import Report, render_report
+
+
+def result(accuracy=0.85, diverged=False, total_time=100.0) -> TrainingResult:
+    return TrainingResult(
+        plan="asp:100%",
+        seed=0,
+        n_workers=8,
+        total_steps=100,
+        completed_steps=100,
+        total_time=total_time,
+        diverged=diverged,
+        diverged_step=50 if diverged else None,
+        converged=not diverged,
+        converged_accuracy=None if diverged else accuracy,
+        reported_accuracy=None if diverged else accuracy,
+        best_accuracy=None if diverged else accuracy,
+        final_loss=0.3,
+        eval_steps=(50, 100),
+        eval_times=(10.0, 20.0),
+        eval_accuracies=(accuracy - 0.2, accuracy),
+        loss_steps=(),
+        loss_values=(),
+        segment_summary=(),
+        staleness={},
+        switch_count=0,
+        total_overhead=0.0,
+        images_processed=12800,
+    )
+
+
+class TestAggregate:
+    def test_mean_and_std(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert std([2.0, 2.0]) == pytest.approx(0.0)
+        assert mean([]) is None
+        assert std([]) is None
+        assert mean([1.0, None, 3.0]) == pytest.approx(2.0)
+
+    def test_accuracy_stats(self):
+        stats = accuracy_stats([result(0.8), result(0.9), result(diverged=True)])
+        assert stats["accuracy_mean"] == pytest.approx(0.85)
+        assert stats["accuracy_best"] == pytest.approx(0.9)
+        assert stats["diverged"] == 1
+        assert stats["n_runs"] == 3
+
+    def test_time_stats_exclude_diverged(self):
+        stats = time_stats([result(total_time=100.0),
+                            result(diverged=True, total_time=5.0)])
+        assert stats["time_mean"] == pytest.approx(100.0)
+
+    def test_divergence_rate(self):
+        assert divergence_rate([]) == 0.0
+        assert divergence_rate([result(), result(diverged=True)]) == 0.5
+
+    def test_mean_tta(self):
+        tta, reached = mean_time_to_accuracy([result(0.9), result(0.7)], 0.85)
+        assert reached == 1
+        assert tta == pytest.approx(20.0)
+
+
+class TestRenderReport:
+    def test_contains_rows_and_notes(self):
+        report = Report(
+            ident="Table X",
+            title="demo",
+            columns=["name", "value"],
+            rows=[{"name": "a", "value": 1.25}, {"name": "b", "value": None}],
+            paper_rows=[{"name": "a", "value": 1.3}],
+            notes=["a caveat"],
+        )
+        text = render_report(report)
+        assert "Table X" in text
+        assert "measured:" in text
+        assert "paper:" in text
+        assert "a caveat" in text
+        assert "1.25" in text
+        assert "-" in text  # None rendered as dash
+
+    def test_alignment_header_separator(self):
+        report = Report(
+            ident="F",
+            title="t",
+            columns=["col"],
+            rows=[{"col": "x"}],
+        )
+        lines = render_report(report).splitlines()
+        separator = [line for line in lines if set(line) <= {"-", " "} and line]
+        assert separator
+
+    def test_column_values(self):
+        report = Report(
+            ident="F",
+            title="t",
+            columns=["col"],
+            rows=[{"col": 1}, {"col": 2}],
+        )
+        assert report.column_values("col") == [1, 2]

@@ -1,0 +1,81 @@
+"""Tests for the experiment-setup definitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.setups import (
+    SETUPS,
+    default_scale,
+    default_seeds,
+    scaled_job,
+)
+
+
+def test_three_setups_match_table_1():
+    assert sorted(SETUPS) == [1, 2, 3]
+    assert SETUPS[1].n_workers == 8
+    assert SETUPS[2].n_workers == 8
+    assert SETUPS[3].n_workers == 16
+    assert SETUPS[1].policy_percent == 6.25
+    assert SETUPS[2].policy_percent == 12.5
+    assert SETUPS[3].policy_percent == 50.0
+
+
+def test_setup_2_has_double_step_budget():
+    assert SETUPS[2].paper_steps == 2 * SETUPS[1].paper_steps
+
+
+def test_setup_3_shares_workload_with_setup_1():
+    assert SETUPS[3].model == SETUPS[1].model
+    assert SETUPS[3].dataset == SETUPS[1].dataset
+
+
+def test_sweep_grids_include_endpoints_and_policy(
+):
+    for setup in SETUPS.values():
+        assert 0.0 in setup.sweep_percents
+        assert 100.0 in setup.sweep_percents
+        assert setup.policy_percent in setup.sweep_percents
+
+
+def test_scaled_job_step_budget():
+    job = scaled_job(SETUPS[1], 0.0625, seed=3)
+    assert job.total_steps == 4000
+    assert job.seed == 3
+    assert job.batch_size == 128
+
+
+def test_scaled_job_enforces_minimum_steps():
+    job = scaled_job(SETUPS[1], 0.001, seed=0)
+    assert job.total_steps >= 400
+
+
+def test_scaled_job_rejects_bad_scale():
+    with pytest.raises(ConfigurationError):
+        scaled_job(SETUPS[1], 0.0, seed=0)
+    with pytest.raises(ConfigurationError):
+        scaled_job(SETUPS[1], 1.5, seed=0)
+
+
+def test_default_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.125")
+    assert default_scale() == pytest.approx(0.125)
+    monkeypatch.setenv("REPRO_SCALE", "junk")
+    with pytest.raises(ConfigurationError):
+        default_scale()
+    monkeypatch.setenv("REPRO_SCALE", "2.0")
+    with pytest.raises(ConfigurationError):
+        default_scale()
+
+
+def test_default_seeds_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SEEDS", "7")
+    assert default_seeds() == 7
+    monkeypatch.setenv("REPRO_SEEDS", "0")
+    with pytest.raises(ConfigurationError):
+        default_seeds()
+
+
+def test_describe():
+    assert "exp1" in SETUPS[1].describe()
+    assert "x8" in SETUPS[1].describe()

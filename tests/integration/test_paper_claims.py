@@ -1,0 +1,143 @@
+"""Integration tests for the paper's qualitative claims.
+
+These run real (small-scale) simulations and assert the *shape* of the
+paper's results — orderings and divergence behaviour, not absolute
+numbers.  They use a moderate scale so the phenomena are visible above
+seed noise while staying test-suite friendly.
+"""
+
+import pytest
+
+from repro.experiments.aggregate import accuracy_stats, time_stats
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setups import SETUPS
+
+
+@pytest.fixture(scope="module")
+def claims_runner(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("claims_cache")
+    return ExperimentRunner(scale=0.02, seeds=2, cache_dir=cache)
+
+
+@pytest.fixture(scope="module")
+def setup1_runs(claims_runner):
+    return {
+        "bsp": claims_runner.run_many(
+            SETUPS[1], {"kind": "switch", "percent": 100.0}
+        ),
+        "asp": claims_runner.run_many(
+            SETUPS[1], {"kind": "switch", "percent": 0.0}
+        ),
+        "sync": claims_runner.run_many(
+            SETUPS[1], {"kind": "switch", "percent": 6.25}
+        ),
+    }
+
+
+class TestTimeOrdering:
+    """ASP < Sync-Switch < BSP in total training time (Figs. 10-11)."""
+
+    def test_asp_is_fastest(self, setup1_runs):
+        asp = time_stats(setup1_runs["asp"])["time_mean"]
+        sync = time_stats(setup1_runs["sync"])["time_mean"]
+        bsp = time_stats(setup1_runs["bsp"])["time_mean"]
+        assert asp < sync < bsp
+
+    def test_syncswitch_speedup_is_substantial(self, setup1_runs):
+        """Paper: 5.13X for setup 1; require at least 2X at test scale."""
+        sync = time_stats(setup1_runs["sync"])["time_mean"]
+        bsp = time_stats(setup1_runs["bsp"])["time_mean"]
+        assert bsp / sync > 2.0
+
+    def test_all_protocols_complete_on_8_workers(self, setup1_runs):
+        for runs in setup1_runs.values():
+            assert all(not run.diverged for run in runs)
+
+
+class TestAccuracyOrdering:
+    """Sync-Switch tracks BSP accuracy; ASP trails (Fig. 10b)."""
+
+    def test_syncswitch_close_to_bsp(self, setup1_runs):
+        bsp = accuracy_stats(setup1_runs["bsp"])["accuracy_mean"]
+        sync = accuracy_stats(setup1_runs["sync"])["accuracy_mean"]
+        assert sync >= bsp - 0.02
+
+    def test_all_runs_learn_something(self, setup1_runs):
+        for runs in setup1_runs.values():
+            stats = accuracy_stats(runs)
+            assert stats["accuracy_mean"] > 0.5  # 10-class chance is 0.1
+
+
+class TestScaleDivergence:
+    """Setup 3: ASP (and pre-decay switching) diverges; BSP and the 50%
+    policy survive (Fig. 13, Table I)."""
+
+    def test_asp_diverges_on_16_workers(self, claims_runner):
+        runs = claims_runner.run_many(
+            SETUPS[3], {"kind": "switch", "percent": 0.0}
+        )
+        assert all(run.diverged for run in runs)
+
+    def test_early_switch_is_harmful_on_16_workers(self, claims_runner):
+        """Pre-decay switching at n=16 diverges or degrades.
+
+        The paper observes outright divergence for every switch point
+        before the first LR decay; at the test suite's reduced scale
+        the hot-phase exposure is shorter, so a warm 12.5% switch may
+        survive — but it must be clearly worse than the 50% policy
+        (divergence still reproduces from a cold ASP start, above).
+        """
+        early = claims_runner.run_many(
+            SETUPS[3], {"kind": "switch", "percent": 12.5}
+        )
+        policy = claims_runner.run_many(
+            SETUPS[3], {"kind": "switch", "percent": 50.0}
+        )
+        if all(run.diverged for run in early):
+            return  # full paper behaviour
+        early_acc = accuracy_stats(early)["accuracy_mean"]
+        policy_acc = accuracy_stats(policy)["accuracy_mean"]
+        assert early_acc < policy_acc
+
+    def test_bsp_survives_on_16_workers(self, claims_runner):
+        runs = claims_runner.run_many(
+            SETUPS[3], {"kind": "switch", "percent": 100.0}
+        )
+        assert all(not run.diverged for run in runs)
+
+    def test_policy_3_survives_and_saves_time(self, claims_runner):
+        bsp = claims_runner.run_many(
+            SETUPS[3], {"kind": "switch", "percent": 100.0}
+        )
+        sync = claims_runner.run_many(
+            SETUPS[3], {"kind": "switch", "percent": 50.0}
+        )
+        assert all(not run.diverged for run in sync)
+        assert (
+            time_stats(sync)["time_mean"] < time_stats(bsp)["time_mean"]
+        )
+
+
+class TestThroughputClaims:
+    """Fig. 4: ASP throughput far above BSP for setup 1."""
+
+    def test_asp_throughput_multiple_of_bsp(self, setup1_runs):
+        bsp = [r.segment_throughput("bsp") for r in setup1_runs["bsp"]]
+        asp = [r.segment_throughput("asp") for r in setup1_runs["asp"]]
+        assert min(asp) > 3.0 * max(bsp)
+
+    def test_switch_overhead_is_small_fraction(self, setup1_runs):
+        for run in setup1_runs["sync"]:
+            assert run.total_overhead < 0.15 * run.total_time
+
+
+class TestStalenessClaims:
+    """Realized staleness ~ cluster size in ASP; zero in BSP."""
+
+    def test_bsp_has_zero_staleness(self, setup1_runs):
+        for run in setup1_runs["bsp"]:
+            assert run.staleness["mean"] == 0.0
+
+    def test_asp_staleness_tracks_cluster(self, setup1_runs):
+        for run in setup1_runs["asp"]:
+            assert 4.0 <= run.staleness["mean"] <= 10.0

@@ -1,0 +1,101 @@
+"""Tests for softmax cross-entropy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mlcore.losses import (
+    accuracy_from_logits,
+    log_softmax,
+    softmax_cross_entropy,
+    softmax_probabilities,
+)
+
+finite_logits = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=2, max_value=8),
+    ),
+    elements=st.floats(min_value=-30, max_value=30),
+)
+
+
+@given(finite_logits)
+@settings(max_examples=50)
+def test_softmax_rows_sum_to_one(logits):
+    probabilities = softmax_probabilities(logits)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+    assert (probabilities >= 0).all()
+
+
+@given(finite_logits, st.floats(min_value=-50, max_value=50))
+@settings(max_examples=50)
+def test_log_softmax_shift_invariance(logits, shift):
+    base = log_softmax(logits)
+    shifted = log_softmax(logits + shift)
+    assert np.allclose(base, shifted, atol=1e-8)
+
+
+def test_log_softmax_handles_large_logits():
+    logits = np.array([[1000.0, 0.0], [0.0, 1000.0]])
+    result = log_softmax(logits)
+    assert np.isfinite(result).all()
+
+
+def test_cross_entropy_on_uniform_logits():
+    logits = np.zeros((4, 10))
+    labels = np.array([0, 3, 7, 9])
+    loss, grad = softmax_cross_entropy(logits, labels)
+    assert np.isclose(loss, np.log(10))
+    # Gradient: (p - y) / batch with p uniform.
+    assert np.isclose(grad[0, 0], (0.1 - 1.0) / 4)
+    assert np.isclose(grad[0, 1], 0.1 / 4)
+
+
+def test_cross_entropy_gradient_matches_finite_difference():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(5, 7))
+    labels = rng.integers(0, 7, size=5)
+    _, grad = softmax_cross_entropy(logits, labels)
+    eps = 1e-6
+    for i in range(5):
+        for j in range(7):
+            plus = logits.copy()
+            plus[i, j] += eps
+            minus = logits.copy()
+            minus[i, j] -= eps
+            loss_plus, _ = softmax_cross_entropy(plus, labels)
+            loss_minus, _ = softmax_cross_entropy(minus, labels)
+            fd = (loss_plus - loss_minus) / (2 * eps)
+            assert abs(fd - grad[i, j]) < 1e-6
+
+
+@given(finite_logits)
+@settings(max_examples=40)
+def test_cross_entropy_grad_rows_sum_to_zero(logits):
+    labels = np.zeros(logits.shape[0], dtype=np.int64)
+    _, grad = softmax_cross_entropy(logits, labels)
+    assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-10)
+
+
+def test_cross_entropy_is_nonnegative():
+    rng = np.random.default_rng(1)
+    logits = rng.normal(size=(8, 5))
+    labels = rng.integers(0, 5, size=8)
+    loss, _ = softmax_cross_entropy(logits, labels)
+    assert loss >= 0.0
+
+
+def test_accuracy_from_logits():
+    logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0], [0.0, 1.0]])
+    labels = np.array([0, 1, 1, 1])
+    assert accuracy_from_logits(logits, labels) == 0.75
+
+
+def test_perfect_accuracy_on_strong_logits():
+    labels = np.arange(6) % 3
+    logits = np.full((6, 3), -10.0)
+    logits[np.arange(6), labels] = 10.0
+    assert accuracy_from_logits(logits, labels) == 1.0

@@ -1,0 +1,78 @@
+"""Tests for convergence detection and TTA."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mlcore.metrics import ConvergenceTracker, time_to_accuracy
+
+
+def feed(tracker, accuracies):
+    for index, accuracy in enumerate(accuracies):
+        tracker.update(time=float(index), step=index * 100, accuracy=accuracy)
+
+
+class TestConvergenceTracker:
+    def test_not_converged_while_improving(self):
+        tracker = ConvergenceTracker()
+        feed(tracker, [0.5, 0.6, 0.7, 0.8, 0.85, 0.88])
+        assert not tracker.converged
+        assert tracker.converged_accuracy is None
+
+    def test_converges_on_stable_window(self):
+        tracker = ConvergenceTracker()
+        feed(tracker, [0.5, 0.7, 0.90, 0.9002, 0.9004, 0.8998, 0.9001])
+        assert tracker.converged
+        # first stable 5-window ends at index 6
+        assert tracker.converged_accuracy == pytest.approx(0.9001)
+        assert tracker.converged_time == pytest.approx(6.0)
+
+    def test_paper_tolerance_is_strict(self):
+        tracker = ConvergenceTracker()  # 0.1% over 5 evals
+        feed(tracker, [0.90, 0.902, 0.904, 0.906, 0.908])
+        assert not tracker.converged  # spread 0.8% > 0.1%
+
+    def test_reported_accuracy_falls_back_to_final(self):
+        tracker = ConvergenceTracker()
+        feed(tracker, [0.5, 0.6, 0.7])
+        assert tracker.reported_accuracy() == pytest.approx(0.7)
+
+    def test_best_and_final(self):
+        tracker = ConvergenceTracker()
+        feed(tracker, [0.5, 0.9, 0.7])
+        assert tracker.best_accuracy == pytest.approx(0.9)
+        assert tracker.final_accuracy == pytest.approx(0.7)
+
+    def test_empty_tracker(self):
+        tracker = ConvergenceTracker()
+        assert tracker.final_accuracy is None
+        assert tracker.best_accuracy is None
+        assert tracker.reported_accuracy() is None
+
+    def test_converged_index_is_first_stable(self):
+        tracker = ConvergenceTracker(window=3, tolerance=0.01)
+        feed(tracker, [0.5, 0.5, 0.5, 0.9, 0.9, 0.9])
+        assert tracker.converged
+        assert tracker.converged_time == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConvergenceTracker(tolerance=-0.1)
+        with pytest.raises(ConfigurationError):
+            ConvergenceTracker(window=1)
+
+
+class TestTimeToAccuracy:
+    def test_first_crossing(self):
+        times = [10.0, 20.0, 30.0, 40.0]
+        accuracies = [0.5, 0.8, 0.9, 0.95]
+        assert time_to_accuracy(times, accuracies, 0.85) == 30.0
+
+    def test_threshold_met_at_first_eval(self):
+        assert time_to_accuracy([5.0], [0.99], 0.9) == 5.0
+
+    def test_never_reached(self):
+        assert time_to_accuracy([1.0, 2.0], [0.5, 0.6], 0.9) is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            time_to_accuracy([1.0], [0.5, 0.6], 0.9)

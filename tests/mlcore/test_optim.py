@@ -1,0 +1,144 @@
+"""Tests for SGD, LR schedules and momentum schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mlcore.optim import (
+    ConstantMomentum,
+    FixedScaledMomentum,
+    LinearRampMomentum,
+    MomentumSGD,
+    NonlinearRampMomentum,
+    PiecewiseDecaySchedule,
+    ZeroMomentum,
+)
+
+
+class TestPiecewiseDecay:
+    def test_paper_schedule_values(self):
+        schedule = PiecewiseDecaySchedule(base_lr=0.1)
+        assert schedule.lr_at(0.0) == pytest.approx(0.1)
+        assert schedule.lr_at(0.49) == pytest.approx(0.1)
+        assert schedule.lr_at(0.5) == pytest.approx(0.01)
+        assert schedule.lr_at(0.74) == pytest.approx(0.01)
+        assert schedule.lr_at(0.75) == pytest.approx(0.001)
+        assert schedule.lr_at(1.0) == pytest.approx(0.001)
+
+    @given(st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=50)
+    def test_monotone_nonincreasing(self, a, b):
+        schedule = PiecewiseDecaySchedule(base_lr=0.2)
+        lo, hi = sorted((a, b))
+        assert schedule.lr_at(hi) <= schedule.lr_at(lo)
+
+    def test_out_of_range_fractions_clipped(self):
+        schedule = PiecewiseDecaySchedule(base_lr=0.1)
+        assert schedule.lr_at(-1.0) == schedule.lr_at(0.0)
+        assert schedule.lr_at(2.0) == schedule.lr_at(1.0)
+
+    def test_scaled_preserves_shape(self):
+        schedule = PiecewiseDecaySchedule(base_lr=0.1).scaled(8)
+        assert schedule.lr_at(0.0) == pytest.approx(0.8)
+        assert schedule.lr_at(0.6) == pytest.approx(0.08)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseDecaySchedule(base_lr=0.0)
+        with pytest.raises(ConfigurationError):
+            PiecewiseDecaySchedule(base_lr=0.1, boundaries=(0.7, 0.5))
+        with pytest.raises(ConfigurationError):
+            PiecewiseDecaySchedule(base_lr=0.1, boundaries=(0.5,), factors=(0.1, 0.2))
+        with pytest.raises(ConfigurationError):
+            PiecewiseDecaySchedule(base_lr=0.1).scaled(0)
+
+
+class TestMomentumSchedules:
+    def test_constant(self):
+        assert ConstantMomentum(0.9).value(0) == 0.9
+        assert ConstantMomentum(0.9).value(100) == 0.9
+
+    def test_zero(self):
+        assert ZeroMomentum().value(5) == 0.0
+
+    def test_fixed_scaled_is_one_over_n(self):
+        assert FixedScaledMomentum(n_workers=8).value(3) == pytest.approx(1 / 8)
+
+    def test_linear_ramp_caps_at_momentum(self):
+        ramp = LinearRampMomentum(momentum=0.9, n_workers=8)
+        assert ramp.value(0) == 0.0
+        assert ramp.value(4) == pytest.approx(0.5)
+        assert ramp.value(100) == pytest.approx(0.9)
+
+    def test_nonlinear_ramp_doubles(self):
+        ramp = NonlinearRampMomentum(momentum=0.9, n_workers=8)
+        assert ramp.value(0) == pytest.approx(1 / 8)
+        assert ramp.value(1) == pytest.approx(2 / 8)
+        assert ramp.value(10) == pytest.approx(0.9)
+
+    @given(st.floats(min_value=0, max_value=50))
+    @settings(max_examples=30)
+    def test_ramps_bounded_by_target(self, epochs):
+        for ramp in (
+            LinearRampMomentum(momentum=0.9, n_workers=8),
+            NonlinearRampMomentum(momentum=0.9, n_workers=8),
+        ):
+            assert 0.0 <= ramp.value(epochs) <= 0.9
+
+
+class TestMomentumSGD:
+    def test_single_step_without_momentum(self):
+        opt = MomentumSGD(3, momentum=0.0, dtype=np.float64)
+        params = np.array([1.0, 2.0, 3.0])
+        grad = np.array([0.5, 0.0, -0.5])
+        opt.step(params, grad, lr=0.1)
+        assert np.allclose(params, [0.95, 2.0, 3.05])
+
+    def test_heavy_ball_accumulates_velocity(self):
+        opt = MomentumSGD(1, momentum=0.9, dtype=np.float64)
+        params = np.zeros(1)
+        grad = np.ones(1)
+        opt.step(params, grad, lr=0.1)  # v = -0.1
+        assert np.allclose(params, [-0.1])
+        opt.step(params, grad, lr=0.1)  # v = -0.19
+        assert np.allclose(params, [-0.29])
+
+    def test_momentum_override_per_step(self):
+        opt = MomentumSGD(1, momentum=0.9, dtype=np.float64)
+        params = np.zeros(1)
+        opt.step(params, np.ones(1), lr=0.1, momentum=0.0)
+        opt.step(params, np.ones(1), lr=0.1, momentum=0.0)
+        assert np.allclose(params, [-0.2])
+
+    def test_state_roundtrip_exact(self):
+        opt = MomentumSGD(4, momentum=0.9)
+        params = np.zeros(4, dtype=np.float32)
+        opt.step(params, np.ones(4, dtype=np.float32), lr=0.05)
+        saved = opt.state()
+        opt.step(params, np.ones(4, dtype=np.float32), lr=0.05)
+        opt.load_state(saved)
+        assert np.array_equal(opt.velocity, saved["velocity"])
+        assert opt.momentum == saved["momentum"]
+
+    def test_state_is_a_copy(self):
+        opt = MomentumSGD(2, momentum=0.5)
+        saved = opt.state()
+        opt.step(np.zeros(2, dtype=np.float32), np.ones(2, dtype=np.float32), 0.1)
+        assert np.array_equal(saved["velocity"], np.zeros(2))
+
+    def test_reset_zeroes_velocity(self):
+        opt = MomentumSGD(2, momentum=0.9)
+        opt.step(np.zeros(2, dtype=np.float32), np.ones(2, dtype=np.float32), 0.1)
+        opt.reset()
+        assert np.array_equal(opt.velocity, np.zeros(2))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MomentumSGD(0)
+        with pytest.raises(ConfigurationError):
+            MomentumSGD(3, momentum=1.0)
+        opt = MomentumSGD(3)
+        with pytest.raises(ConfigurationError):
+            opt.load_state({"momentum": 0.9, "velocity": np.zeros(5)})

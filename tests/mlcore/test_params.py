@@ -1,0 +1,133 @@
+"""Tests for the flat-parameter layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mlcore.params import ParameterLayout
+
+
+def simple_layout() -> ParameterLayout:
+    return ParameterLayout({"w": (3, 4), "b": (4,), "scalar": ()})
+
+
+def test_size_counts_all_elements():
+    assert simple_layout().size == 12 + 4 + 1
+
+
+def test_names_preserve_order():
+    assert simple_layout().names == ("w", "b", "scalar")
+
+
+def test_slices_are_contiguous_and_disjoint():
+    layout = simple_layout()
+    stops = 0
+    for name in layout.names:
+        view = layout.slice_of(name)
+        assert view.start == stops
+        stops = view.stop
+    assert stops == layout.size
+
+
+def test_view_is_a_view_not_a_copy():
+    layout = simple_layout()
+    vector = layout.zeros()
+    layout.view(vector, "w")[0, 0] = 5.0
+    assert vector[0] == 5.0
+
+
+def test_views_reshape_correctly():
+    layout = simple_layout()
+    vector = np.arange(layout.size, dtype=np.float64)
+    views = layout.views(vector)
+    assert views["w"].shape == (3, 4)
+    assert views["b"].shape == (4,)
+    assert views["w"][0, 1] == 1.0
+
+
+def test_pack_roundtrip():
+    layout = simple_layout()
+    tensors = {
+        "w": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "b": np.ones(4),
+        "scalar": np.array(3.0),
+    }
+    vector = layout.pack(tensors)
+    views = layout.views(vector)
+    for name, original in tensors.items():
+        assert np.array_equal(views[name], np.asarray(original))
+
+
+def test_pack_rejects_missing_tensor():
+    layout = simple_layout()
+    with pytest.raises(ConfigurationError, match="missing"):
+        layout.pack({"w": np.zeros((3, 4))})
+
+
+def test_pack_rejects_unknown_tensor():
+    layout = simple_layout()
+    with pytest.raises(ConfigurationError, match="unknown"):
+        layout.pack(
+            {
+                "w": np.zeros((3, 4)),
+                "b": np.zeros(4),
+                "scalar": np.array(0.0),
+                "extra": np.zeros(2),
+            }
+        )
+
+
+def test_pack_rejects_bad_shape():
+    layout = simple_layout()
+    with pytest.raises(ConfigurationError, match="shape"):
+        layout.pack(
+            {"w": np.zeros((4, 3)), "b": np.zeros(4), "scalar": np.array(0.0)}
+        )
+
+
+def test_view_rejects_wrong_size_vector():
+    layout = simple_layout()
+    with pytest.raises(ConfigurationError, match="shape"):
+        layout.view(np.zeros(3), "w")
+
+
+def test_empty_layout_rejected():
+    with pytest.raises(ConfigurationError):
+        ParameterLayout({})
+
+
+def test_zeros_dtype():
+    layout = simple_layout()
+    assert layout.zeros(np.float32).dtype == np.float32
+    assert layout.zeros().dtype == np.float64
+
+
+def test_equality_by_shapes():
+    assert simple_layout() == simple_layout()
+    other = ParameterLayout({"w": (3, 4)})
+    assert simple_layout() != other
+
+
+@given(
+    st.integers(min_value=1, max_value=97),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=40)
+def test_shard_bounds_partition_vector(size, n_shards):
+    layout = ParameterLayout({"w": (size,)})
+    bounds = layout.shard_bounds(n_shards)
+    assert len(bounds) == n_shards
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == size
+    for (lo1, hi1), (lo2, hi2) in zip(bounds, bounds[1:]):
+        assert hi1 == lo2
+        assert hi1 >= lo1
+    sizes = [hi - lo for lo, hi in bounds]
+    assert max(sizes) - min(sizes) <= 1  # near-equal split
+
+
+def test_shard_bounds_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        simple_layout().shard_bounds(0)

@@ -1,0 +1,52 @@
+"""Tests for the sync-switch CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--setup", "1", "--percent", "6.25"])
+    assert args.command == "run"
+    assert args.percent == 6.25
+    args = parser.parse_args(["report", "tab3"])
+    assert args.artifact == "tab3"
+    args = parser.parse_args(["search", "--setup", "2"])
+    assert args.setup == 2
+
+
+def test_parser_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["report", "fig99"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "exp1" in out
+    assert "fig11" in out
+
+
+def test_run_command_tiny(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["run", "--setup", "1", "--scale", "0.008", "--percent",
+                 "50"]) == 0
+    out = capsys.readouterr().out
+    assert "accuracy" in out
+    assert "throughput" in out
+
+
+def test_search_command_tiny(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["search", "--setup", "3", "--scale", "0.008", "--runs",
+                 "1"]) == 0
+    out = capsys.readouterr().out
+    assert "found switch" in out
+
+
+def test_report_command_tab3(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["report", "tab3", "--scale", "0.008", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
