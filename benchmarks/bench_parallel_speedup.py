@@ -1,0 +1,27 @@
+"""Parallel-executor speedup on a representative switch-timing sweep.
+
+Unlike the artifact benchmarks, this one is cold-cache by design: the
+benchmarked call times the Fig. 5b-style sweep grid at ``jobs=N`` in a
+fresh temporary cache, a single extra pass provides the ``jobs=1``
+baseline, and both land in the benchmark ``extra_info`` and
+``results/parallel_speedup.json`` so the ``BENCH_*.json`` trajectory
+captures the parallelism win alongside the regeneration-from-logs
+numbers.  With an explicit ``--jobs 1`` the probe stays fully serial
+(no extra pass, speedup 1.0).
+"""
+
+
+def bench_parallel_sweep_speedup(
+    benchmark, speedup_jobs, cold_sweep_timer, record_parallel_speedup
+):
+    parallel_s = benchmark.pedantic(
+        cold_sweep_timer,
+        args=(speedup_jobs,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    serial_s = cold_sweep_timer(1) if speedup_jobs > 1 else parallel_s
+    info = record_parallel_speedup(speedup_jobs, serial_s, parallel_s)
+    benchmark.extra_info.update(info)
+    assert info["speedup"] is not None

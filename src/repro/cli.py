@@ -56,14 +56,28 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--scale", type=float, default=0.02)
     search.add_argument("--runs", type=int, default=2)
     search.add_argument("--beta", type=float, default=0.01)
+    _add_jobs_argument(search)
 
     report = sub.add_parser("report", help="regenerate a paper artifact")
     report.add_argument("artifact", choices=sorted(ARTIFACTS))
     report.add_argument("--scale", type=float, default=None)
     report.add_argument("--seeds", type=int, default=None)
+    _add_jobs_argument(report)
 
     sub.add_parser("list", help="show setups and artifacts")
     return parser
+
+
+def _add_jobs_argument(subparser) -> None:
+    # Only on subcommands that execute multi-cell batches; ``run`` is a
+    # single cell, where a worker pool could never help.
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for batched experiments "
+        "(default: REPRO_JOBS, else 1)",
+    )
 
 
 def _cmd_run(args) -> int:
@@ -87,14 +101,14 @@ def _cmd_run(args) -> int:
 
 def _cmd_search(args) -> int:
     setup = SETUPS[args.setup]
-    runner = ExperimentRunner(scale=args.scale, seeds=args.runs)
+    runner = ExperimentRunner(scale=args.scale, seeds=args.runs, jobs=args.jobs)
 
     def trial(fraction: float, run_index: int):
-        result = runner.run(
-            setup,
-            {"kind": "switch", "percent": fraction * 100.0},
-            run_index,
-        )
+        spec = {"kind": "switch", "percent": fraction * 100.0}
+        # Batch all of this setting's repetitions up front so --jobs
+        # parallelises them; later run_index calls replay from cache.
+        runner.prefetch([(setup, spec)], seeds=args.runs)
+        result = runner.run(setup, spec, run_index)
         accuracy = 0.0 if result.diverged else (result.reported_accuracy or 0.0)
         return accuracy, result.total_time
 
@@ -114,7 +128,7 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    runner = ExperimentRunner(scale=args.scale, seeds=args.seeds)
+    runner = ExperimentRunner(scale=args.scale, seeds=args.seeds, jobs=args.jobs)
     report = ARTIFACTS[args.artifact](runner)
     print(render_report(report))
     return 0

@@ -185,6 +185,11 @@ class SyncSwitchController:
         self, session, bsp_segment, async_segment, detector, profiler, flagged
     ) -> bool:
         """Greedy policy: ASP until the cluster is clear again."""
+        remaining = self.job.total_steps - session.step
+        if remaining <= 0:
+            # Already at the step budget: switching protocols now would
+            # charge a pointless checkpoint->actuate->restore overhead.
+            return True
         self._log_intervention(
             session, "greedy-switch-to-asp", {"flagged": flagged}
         )
@@ -192,9 +197,6 @@ class SyncSwitchController:
         profiler.reset()
         detector.reset()
         stop = self._clearance_stop(session, profiler, detector)
-        remaining = self.job.total_steps - session.step
-        if remaining <= 0:
-            return True
         reason = self.trainer.run_segment(
             session, async_segment, remaining, stop=stop, charge_switch=False
         )

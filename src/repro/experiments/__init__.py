@@ -24,6 +24,11 @@ from repro.experiments.figures import (
     figure_8a,
     figure_8b,
 )
+from repro.experiments.executor import (
+    ParallelExecutor,
+    RunRequest,
+    resolve_jobs,
+)
 from repro.experiments.reporting import Report, render_report
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.search_analysis import (
@@ -70,10 +75,13 @@ __all__ = [
     "ARTIFACTS",
     "ExperimentRunner",
     "ExperimentSetup",
+    "ParallelExecutor",
     "Report",
+    "RunRequest",
     "SETUPS",
     "default_scale",
     "default_seeds",
+    "resolve_jobs",
     "figure_2",
     "figure_4a",
     "figure_4b",

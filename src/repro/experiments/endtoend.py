@@ -1,4 +1,9 @@
-"""End-to-end evaluation figures: Figs. 10, 11, 12, 13 and 14."""
+"""End-to-end evaluation figures: Figs. 10, 11, 12, 13 and 14.
+
+Each generator collects its full grid of run specs up front and
+prefetches them as one deduplicated batch (parallel when the runner
+has ``jobs > 1``) before assembling rows from the shared cache.
+"""
 
 from __future__ import annotations
 
@@ -24,6 +29,13 @@ __all__ = [
 
 def figure_10(runner: ExperimentRunner) -> Report:
     """Fig. 10: end-to-end time and accuracy across all three setups."""
+    runner.prefetch(
+        [
+            (SETUPS[index], {"kind": "switch", "percent": percent})
+            for index in (1, 2, 3)
+            for percent in (100.0, 0.0, SETUPS[index].policy_percent)
+        ]
+    )
     rows = []
     for index in (1, 2, 3):
         setup = SETUPS[index]
@@ -106,6 +118,12 @@ def _setup_detail(
     Per switch timing: converged accuracy and total training time, plus
     best-run loss/accuracy curve endpoints for the (a)/(b) panels.
     """
+    percents = dict.fromkeys(
+        (*setup.sweep_percents, 100.0, 0.0, setup.policy_percent)
+    )
+    runner.prefetch(
+        [(setup, {"kind": "switch", "percent": percent}) for percent in percents]
+    )
     rows = []
     bsp_runs = runner.run_many(setup, {"kind": "switch", "percent": 100.0})
     bsp_time = time_stats(bsp_runs)["time_mean"]
@@ -203,6 +221,13 @@ def figure_14(runner: ExperimentRunner) -> Report:
         2: SETUPS[2].policy_percent,
         3: SETUPS[3].policy_percent,
     }
+    runner.prefetch(
+        [
+            (SETUPS[index], {"kind": "switch", "percent": percent})
+            for index in (1, 2, 3)
+            for percent in (100.0, *policies.values())
+        ]
+    )
     for setup_index in (1, 2, 3):
         setup = SETUPS[setup_index]
         bsp_time = time_stats(

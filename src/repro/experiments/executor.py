@@ -1,0 +1,280 @@
+"""Parallel execution of experiment cells.
+
+The paper's artifacts are grids of independent training runs — timing
+sweeps, multi-seed repetitions, the offline binary search — so this
+module provides the fan-out layer: callers collect their full set of
+``(setup, spec, seed)`` cells as :class:`RunRequest` objects and submit
+them as one batch to a :class:`ParallelExecutor`, which deduplicates
+the batch, replays cached cells, and trains the missing ones across a
+process pool.
+
+Parallelism knobs
+-----------------
+
+* ``REPRO_JOBS`` — default worker-process count (default ``1``).
+* ``jobs=`` — explicit override on :class:`ParallelExecutor`,
+  :class:`~repro.experiments.runner.ExperimentRunner`, the
+  ``sync-switch`` CLI (``--jobs``) and the benchmark harness.
+
+``jobs=1`` (the default) degrades gracefully to inline execution in
+the calling process: no pool is created and no subprocess is spawned,
+which keeps single-cell paths (the CLI ``run`` command, unit tests)
+free of multiprocessing overhead.
+
+Cache layout and atomicity
+--------------------------
+
+Each cell is cached as ``<cache_dir>/<key>.json`` where ``key`` is a
+SHA-256 digest (truncated to 24 hex chars) of the calibration version,
+setup key, scale, spec and seed — see :func:`cache_key`.  The cache is
+safe to share between concurrent processes:
+
+* **Atomic writes** — :func:`disk_store` writes to a uniquely named
+  temporary file in the cache directory and publishes it with
+  :func:`os.replace`, so readers never observe a truncated entry, even
+  if a writer is killed mid-dump.
+* **Re-read before execute** — every worker re-checks the disk cache
+  immediately before training (see
+  :meth:`~repro.experiments.runner.ExperimentRunner.run`), so a cell
+  that a sibling worker or process finished in the meantime is loaded
+  instead of recomputed.  Duplicate concurrent writes of the same cell
+  are harmless: both writers publish byte-identical JSON.
+
+Execution is deterministic per cell — every stochastic component is
+seeded from the ``(seed, label)`` pair (see :mod:`repro.rng`) — so
+``jobs=N`` and ``jobs=1`` produce bit-identical
+:class:`~repro.distsim.telemetry.TrainingResult` values.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+
+from repro.distsim.telemetry import TrainingResult
+from repro.errors import ConfigurationError
+from repro.experiments.setups import ExperimentSetup
+
+__all__ = [
+    "CALIBRATION_VERSION",
+    "ParallelExecutor",
+    "RunRequest",
+    "cache_key",
+    "disk_load",
+    "disk_store",
+    "resolve_jobs",
+]
+
+#: Bump to invalidate cached results after calibration changes.
+CALIBRATION_VERSION = 3
+
+_LOG = logging.getLogger("repro.experiments.executor")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker-process count: explicit ``jobs``, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "")
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad REPRO_JOBS {raw!r}") from exc
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    return jobs
+
+
+def cache_key(
+    setup: ExperimentSetup, spec: dict, seed: int, scale: float
+) -> str:
+    """Stable cache key for one ``(setup, spec, seed)`` cell at ``scale``."""
+    payload = json.dumps(
+        {
+            "calibration": CALIBRATION_VERSION,
+            "setup": setup.key,
+            "scale": scale,
+            "spec": spec,
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def disk_load(cache_dir: Path | None, key: str) -> TrainingResult | None:
+    """Load one cached cell, tolerating missing or corrupt entries."""
+    if cache_dir is None:
+        return None
+    path = Path(cache_dir) / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            return TrainingResult.from_dict(json.load(handle))
+    except (json.JSONDecodeError, KeyError, OSError):
+        return None
+
+
+def disk_store(cache_dir: Path | None, key: str, result: TrainingResult) -> None:
+    """Atomically persist one cell: write a temp file, then ``os.replace``.
+
+    Concurrent writers of the same key race benignly (last replace
+    wins with identical content); readers never see a partial file.
+    """
+    if cache_dir is None:
+        return
+    cache_dir = Path(cache_dir)
+    path = cache_dir / f"{key}.json"
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=cache_dir,
+        prefix=f".{key}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            json.dump(result.to_dict(), handle)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True, eq=False)
+class RunRequest:
+    """One experiment cell: a setup, a run spec and a seed."""
+
+    setup: ExperimentSetup
+    spec: dict
+    seed: int
+
+    def key(self, scale: float) -> str:
+        """Cache key of this cell at ``scale`` (the dedup identity)."""
+        return cache_key(self.setup, self.spec, self.seed, scale)
+
+
+def _execute_cell(payload: tuple) -> tuple[str, dict]:
+    """Pool worker: train one cell through a fresh single-seed runner.
+
+    The runner's :meth:`run` re-checks the shared disk cache before
+    executing (a sibling may have finished the cell meanwhile) and
+    stores the result atomically on completion.
+    """
+    scale, cache_dir, setup, spec, seed, key = payload
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(
+        scale=scale,
+        seeds=1,
+        cache_dir=cache_dir if cache_dir is not None else "off",
+    )
+    return key, runner.run(setup, spec, seed).to_dict()
+
+
+@dataclass
+class ParallelExecutor:
+    """Process-pool executor for deduplicated batches of experiment cells.
+
+    ``jobs=None`` resolves through :func:`resolve_jobs` (``REPRO_JOBS``,
+    default 1).  ``jobs=1`` executes inline; larger values fan the
+    batch out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+
+    scale: float
+    cache_dir: Path | None = None
+    jobs: int | None = None
+    _resolved_jobs: int = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._resolved_jobs = resolve_jobs(self.jobs)
+
+    @property
+    def effective_jobs(self) -> int:
+        """The resolved worker count used for batches."""
+        return self._resolved_jobs
+
+    def execute(self, requests) -> dict[str, TrainingResult]:
+        """Execute a batch of cells and return ``{cache_key: result}``.
+
+        Duplicate requests (same cache key) are executed once.  Cells
+        already on disk are loaded, never recomputed.
+        """
+        requests = list(requests)
+        unique: dict[str, RunRequest] = {}
+        for request in requests:
+            unique.setdefault(request.key(self.scale), request)
+        results: dict[str, TrainingResult] = {}
+        pending: dict[str, RunRequest] = {}
+        for key, request in unique.items():
+            cached = disk_load(self.cache_dir, key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending[key] = request
+        if not pending:
+            return results
+        workers = min(self._resolved_jobs, len(pending))
+        _LOG.info(
+            "batch: %d cell(s) requested, %d unique, %d cached, "
+            "executing %d with %d job(s)",
+            len(requests),
+            len(unique),
+            len(results),
+            len(pending),
+            workers,
+        )
+        if workers <= 1:
+            self._execute_inline(pending, results)
+        else:
+            self._execute_pool(pending, results, workers)
+        return results
+
+    # ------------------------------------------------------------------
+    # execution strategies
+    # ------------------------------------------------------------------
+    def _payload(self, key: str, request: RunRequest) -> tuple:
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        return (
+            self.scale,
+            cache_dir,
+            request.setup,
+            request.spec,
+            request.seed,
+            key,
+        )
+
+    def _execute_inline(self, pending, results) -> None:
+        for done, (key, request) in enumerate(pending.items(), start=1):
+            _, data = _execute_cell(self._payload(key, request))
+            results[key] = TrainingResult.from_dict(data)
+            _LOG.info("batch progress: %d/%d cells done", done, len(pending))
+
+    def _execute_pool(self, pending, results, workers: int) -> None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_cell, self._payload(key, request))
+                for key, request in pending.items()
+            }
+            done = 0
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    key, data = future.result()
+                    results[key] = TrainingResult.from_dict(data)
+                    done += 1
+                    _LOG.info(
+                        "batch progress: %d/%d cells done", done, len(pending)
+                    )

@@ -1,4 +1,9 @@
-"""Motivation and policy-design figures: Figs. 2, 4, 5 and 8."""
+"""Motivation and policy-design figures: Figs. 2, 4, 5 and 8.
+
+Each generator collects its full grid of run specs up front and
+prefetches them as one deduplicated batch (parallel when the runner
+has ``jobs > 1``) before assembling rows from the shared cache.
+"""
 
 from __future__ import annotations
 
@@ -25,13 +30,20 @@ def figure_2(runner: ExperimentRunner) -> Report:
     and total training time.
     """
     setup = SETUPS[1]
-    rows = []
-    for label, percent in [
+    configurations = [
         ("BSP", 100.0),
         ("ASP", 0.0),
         ("Switching 25%", 25.0),
         ("Switching 50%", 50.0),
-    ]:
+    ]
+    runner.prefetch(
+        [
+            (setup, {"kind": "switch", "percent": percent})
+            for _, percent in configurations
+        ]
+    )
+    rows = []
+    for label, percent in configurations:
         runs = runner.run_many(setup, {"kind": "switch", "percent": percent})
         stats = accuracy_stats(runs) | time_stats(runs)
         rows.append(
@@ -78,6 +90,13 @@ def figure_2(runner: ExperimentRunner) -> Report:
 
 def figure_4a(runner: ExperimentRunner) -> Report:
     """Fig. 4a: BSP vs ASP training throughput without stragglers."""
+    runner.prefetch(
+        [
+            (SETUPS[index], {"kind": "static", "protocol": protocol})
+            for index in (1, 2, 3)
+            for protocol in ("bsp", "asp")
+        ]
+    )
     rows = []
     for index in (1, 2, 3):
         setup = SETUPS[index]
@@ -135,25 +154,29 @@ def figure_4b(runner: ExperimentRunner) -> Report:
         ("1 + 30ms", 1, 0.030),
         ("2 + 30ms", 2, 0.030),
     ]
-    rows = []
-    for label, count, latency in scenarios:
-        spec_extra = {}
+    def scenario_spec(protocol: str, count: int, latency: float) -> dict:
+        spec = {"kind": "static", "protocol": protocol, "steps_scale": 0.5}
         if count:
-            spec_extra["stragglers"] = {
+            spec["stragglers"] = {
                 "n": count,
                 "latency": latency,
                 "permanent": True,
             }
+        return spec
+
+    runner.prefetch(
+        [
+            (setup, scenario_spec(protocol, count, latency))
+            for _, count, latency in scenarios
+            for protocol in ("bsp", "asp")
+        ]
+    )
+    rows = []
+    for label, count, latency in scenarios:
         row = {"scenario": label}
         for protocol in ("bsp", "asp"):
             runs = runner.run_many(
-                setup,
-                {
-                    "kind": "static",
-                    "protocol": protocol,
-                    "steps_scale": 0.5,
-                    **spec_extra,
-                },
+                setup, scenario_spec(protocol, count, latency)
             )
             throughputs = [
                 run.segment_throughput(protocol)
@@ -187,6 +210,7 @@ def figure_5a(runner: ExperimentRunner) -> Report:
         ("ASP->BSP", {"kind": "reversed", "percent": 50.0}),
         ("ASP", {"kind": "switch", "percent": 0.0}),
     ]
+    runner.prefetch([(setup, spec) for _, spec in configurations])
     rows = []
     for label, spec in configurations:
         runs = runner.run_many(setup, spec)
@@ -220,6 +244,12 @@ def figure_5a(runner: ExperimentRunner) -> Report:
 def figure_5b(runner: ExperimentRunner) -> Report:
     """Fig. 5b: converged accuracy vs BSP proportion (the knee curve)."""
     setup = SETUPS[1]
+    runner.prefetch(
+        [
+            (setup, {"kind": "switch", "percent": percent})
+            for percent in setup.sweep_percents
+        ]
+    )
     rows = []
     for percent in setup.sweep_percents:
         runs = runner.run_many(setup, {"kind": "switch", "percent": percent})
@@ -247,17 +277,19 @@ def figure_5b(runner: ExperimentRunner) -> Report:
 def figure_8a(runner: ExperimentRunner) -> Report:
     """Fig. 8a: ASP throughput with per-worker batch 1024 vs 128."""
     setup = SETUPS[1]
+
+    def batch_spec(batch: int) -> dict:
+        return {
+            "kind": "custom_static",
+            "protocol": "asp",
+            "options": {"batch_size": batch},
+            "steps_scale": 0.25,
+        }
+
+    runner.prefetch([(setup, batch_spec(batch)) for batch in (1024, 128)])
     rows = []
     for batch in (1024, 128):
-        runs = runner.run_many(
-            setup,
-            {
-                "kind": "custom_static",
-                "protocol": "asp",
-                "options": {"batch_size": batch},
-                "steps_scale": 0.25,
-            },
-        )
+        runs = runner.run_many(setup, batch_spec(batch))
         throughputs = [
             run.segment_throughput("asp") for run in runs if not run.diverged
         ]
@@ -289,16 +321,19 @@ def figure_8a(runner: ExperimentRunner) -> Report:
 def figure_8b(runner: ExperimentRunner) -> Report:
     """Fig. 8b: momentum handling after the switch (five variants)."""
     setup = SETUPS[1]
+    modes = ("baseline", "zero", "fixed-scaled", "nonlinear-ramp", "linear-ramp")
+
+    def mode_spec(mode: str) -> dict:
+        return {
+            "kind": "switch",
+            "percent": setup.policy_percent,
+            "momentum_mode": mode,
+        }
+
+    runner.prefetch([(setup, mode_spec(mode)) for mode in modes])
     rows = []
-    for mode in ("baseline", "zero", "fixed-scaled", "nonlinear-ramp", "linear-ramp"):
-        runs = runner.run_many(
-            setup,
-            {
-                "kind": "switch",
-                "percent": setup.policy_percent,
-                "momentum_mode": mode,
-            },
-        )
+    for mode in modes:
+        runs = runner.run_many(setup, mode_spec(mode))
         stats = accuracy_stats(runs)
         rows.append(
             {

@@ -8,6 +8,26 @@ per seed, and caches the resulting
 (keyed by setup, scale, spec and seed), because many figures share the
 same underlying runs — exactly like the paper reuses its training logs.
 
+Batch execution and parallelism
+-------------------------------
+
+:meth:`ExperimentRunner.run_many` and :meth:`ExperimentRunner.sweep`
+collect their full grid of ``(setup, spec, seed)`` cells and submit
+them as one deduplicated batch to a
+:class:`~repro.experiments.executor.ParallelExecutor`; the figure and
+table drivers additionally :meth:`ExperimentRunner.prefetch` every
+cell they will touch up front, so one batch covers the whole artifact.
+The worker count comes from the ``jobs=`` constructor parameter, the
+``REPRO_JOBS`` environment variable, or defaults to 1 (inline, no
+subprocesses).  Parallel and serial execution are bit-identical
+because every cell is seeded independently.
+
+The on-disk cache (``<cache_dir>/<key>.json``) is concurrency-safe:
+writes go through a temp file + :func:`os.replace` (never a partial
+entry) and workers re-read the cache immediately before training so a
+cell computed by a sibling process is loaded, not recomputed.  See
+:mod:`repro.experiments.executor` for the full guarantees.
+
 Spec reference::
 
     {"kind": "switch", "percent": 6.25}                  # Sync-Switch plan
@@ -27,9 +47,8 @@ Spec reference::
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.policies import (
@@ -49,6 +68,15 @@ from repro.distsim.telemetry import TrainingResult
 from repro.distsim.timing import timing_for
 from repro.distsim.trainer import DistributedTrainer
 from repro.errors import ConfigurationError
+from repro.experiments.executor import (
+    CALIBRATION_VERSION,
+    ParallelExecutor,
+    RunRequest,
+    cache_key,
+    disk_load,
+    disk_store,
+    resolve_jobs,
+)
 from repro.experiments.setups import (
     ExperimentSetup,
     default_scale,
@@ -57,25 +85,32 @@ from repro.experiments.setups import (
 )
 from repro.rng import child_rng
 
-__all__ = ["ExperimentRunner"]
-
-#: Bump to invalidate cached results after calibration changes.
-CALIBRATION_VERSION = 3
+__all__ = ["ExperimentRunner", "CALIBRATION_VERSION"]
 
 
 class ExperimentRunner:
-    """Cached executor for harness run specs."""
+    """Cached executor for harness run specs.
+
+    ``jobs`` controls batch parallelism (:meth:`run_batch`,
+    :meth:`run_many`, :meth:`sweep`, :meth:`prefetch`): ``None`` reads
+    ``REPRO_JOBS`` (default 1 = inline execution).
+    """
 
     def __init__(
         self,
         scale: float | None = None,
         seeds: int | None = None,
         cache_dir: str | Path | None = None,
+        jobs: int | None = None,
     ):
         self.scale = scale if scale is not None else default_scale()
         self.n_seeds = seeds if seeds is not None else default_seeds()
+        self.jobs = resolve_jobs(jobs)
         self._memory: dict[str, TrainingResult] = {}
         self._cache_dir = self._resolve_cache_dir(cache_dir)
+        self._executor = ParallelExecutor(
+            scale=self.scale, cache_dir=self._cache_dir, jobs=self.jobs
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -96,15 +131,53 @@ class ExperimentRunner:
         self._disk_store(key, result)
         return result
 
+    def run_batch(self, requests: list[RunRequest]) -> list[TrainingResult]:
+        """Execute a batch of cells, deduplicated, optionally in parallel.
+
+        Cells already in the memory or disk cache are replayed; the
+        rest are executed with ``self.jobs`` worker processes (inline
+        when ``jobs=1``).  Results come back in request order and are
+        bit-identical to serial execution.
+        """
+        keyed = [(request.key(self.scale), request) for request in requests]
+        missing = {
+            key: request for key, request in keyed if key not in self._memory
+        }
+        if missing:
+            self._memory.update(self._executor.execute(missing.values()))
+        return [self._memory[key] for key, _ in keyed]
+
+    def prefetch(
+        self,
+        cells: list[tuple[ExperimentSetup, dict]],
+        seeds: int | None = None,
+    ) -> list[TrainingResult]:
+        """Warm the cache for every ``(setup, spec)`` cell x seed.
+
+        The figure/table drivers call this with their complete grid so
+        the whole artifact executes as one deduplicated batch; their
+        subsequent :meth:`run_many` calls then assemble from cache.
+        """
+        count = seeds if seeds is not None else self.n_seeds
+        return self.run_batch(
+            [
+                RunRequest(setup, spec, seed)
+                for setup, spec in cells
+                for seed in range(count)
+            ]
+        )
+
     def run_many(
         self,
         setup: ExperimentSetup,
         spec: dict,
         seeds: int | None = None,
     ) -> list[TrainingResult]:
-        """Execute one configuration across repeated seeds."""
+        """Execute one configuration across repeated seeds (one batch)."""
         count = seeds if seeds is not None else self.n_seeds
-        return [self.run(setup, spec, seed) for seed in range(count)]
+        return self.run_batch(
+            [RunRequest(setup, spec, seed) for seed in range(count)]
+        )
 
     def sweep(
         self,
@@ -112,8 +185,16 @@ class ExperimentRunner:
         percents: tuple[float, ...] | None = None,
         seeds: int | None = None,
     ) -> dict[float, list[TrainingResult]]:
-        """Switch-timing sweep over ``percents`` (the per-setup grid)."""
+        """Switch-timing sweep over ``percents`` (the per-setup grid).
+
+        The whole ``percents x seeds`` grid is submitted as a single
+        batch before assembly.
+        """
         grid = percents if percents is not None else setup.sweep_percents
+        self.prefetch(
+            [(setup, {"kind": "switch", "percent": percent}) for percent in grid],
+            seeds=seeds,
+        )
         return {
             percent: self.run_many(
                 setup, {"kind": "switch", "percent": percent}, seeds
@@ -146,17 +227,7 @@ class ExperimentRunner:
         job = self.job(setup, seed)
         steps_scale = float(spec.get("steps_scale", 1.0))
         if steps_scale != 1.0:
-            job = JobConfig(
-                model=job.model,
-                dataset=job.dataset,
-                total_steps=max(int(job.total_steps * steps_scale), 200),
-                batch_size=job.batch_size,
-                base_lr=job.base_lr,
-                momentum=job.momentum,
-                eval_every=job.eval_every,
-                loss_log_every=job.loss_log_every,
-                seed=seed,
-            )
+            job = self._with_steps_scale(job, steps_scale)
         ambient = bool(spec.get("ambient", True))
         stragglers = self._straggler_schedule(setup, spec, job, seed)
 
@@ -173,6 +244,17 @@ class ExperimentRunner:
             overhead_time_scale=self.scale,
         )
         return controller.run_job().result
+
+    @staticmethod
+    def _with_steps_scale(job: JobConfig, steps_scale: float) -> JobConfig:
+        """Shorten the step budget, preserving every other job field.
+
+        Uses :func:`dataclasses.replace` so fields like
+        ``divergence_threshold`` are never silently reset to defaults.
+        """
+        return replace(
+            job, total_steps=max(int(job.total_steps * steps_scale), 200)
+        )
 
     def _execute_raw(
         self, setup, spec, job, stragglers, ambient
@@ -290,46 +372,25 @@ class ExperimentRunner:
     # caching
     # ------------------------------------------------------------------
     def _key(self, setup: ExperimentSetup, spec: dict, seed: int) -> str:
-        payload = json.dumps(
-            {
-                "calibration": CALIBRATION_VERSION,
-                "setup": setup.key,
-                "scale": self.scale,
-                "spec": spec,
-                "seed": seed,
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+        return cache_key(setup, spec, seed, self.scale)
 
     def _resolve_cache_dir(self, cache_dir) -> Path | None:
         if cache_dir is None:
-            raw = os.environ.get("REPRO_CACHE_DIR", "")
-            if raw.lower() in ("0", "off", "none"):
-                return None
-            if raw:
-                cache_dir = raw
-            else:
-                cache_dir = Path(__file__).resolve().parents[3] / ".exp_cache"
+            cache_dir = os.environ.get("REPRO_CACHE_DIR", "") or (
+                Path(__file__).resolve().parents[3] / ".exp_cache"
+            )
+        if isinstance(cache_dir, str) and cache_dir.lower() in (
+            "0",
+            "off",
+            "none",
+        ):
+            return None
         path = Path(cache_dir)
         path.mkdir(parents=True, exist_ok=True)
         return path
 
     def _disk_load(self, key: str) -> TrainingResult | None:
-        if self._cache_dir is None:
-            return None
-        path = self._cache_dir / f"{key}.json"
-        if not path.exists():
-            return None
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                return TrainingResult.from_dict(json.load(handle))
-        except (json.JSONDecodeError, KeyError, OSError):
-            return None
+        return disk_load(self._cache_dir, key)
 
     def _disk_store(self, key: str, result: TrainingResult) -> None:
-        if self._cache_dir is None:
-            return
-        path = self._cache_dir / f"{key}.json"
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle)
+        disk_store(self._cache_dir, key, result)

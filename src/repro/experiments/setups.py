@@ -14,6 +14,8 @@ Environment knobs:
   paper).
 * ``REPRO_CACHE_DIR`` — on-disk result cache location (default
   ``<repo>/.exp_cache``; set to ``0``/``off`` to disable).
+* ``REPRO_JOBS`` — worker processes for batched experiment execution
+  (default 1 = inline; see :mod:`repro.experiments.executor`).
 """
 
 from __future__ import annotations

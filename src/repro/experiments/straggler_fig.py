@@ -21,19 +21,30 @@ STRAGGLER_SCENARIOS = {
 def figure_15(runner: ExperimentRunner) -> Report:
     """Compare baseline / greedy / elastic policies per scenario."""
     setup = SETUPS[1]
+
+    def policy_spec(straggler_spec: dict, policy: str) -> dict:
+        spec = {
+            "kind": "switch",
+            "percent": setup.policy_percent,
+            "stragglers": straggler_spec,
+            "ambient": False,
+        }
+        if policy != "baseline":
+            spec["online"] = policy
+        return spec
+
+    runner.prefetch(
+        [
+            (setup, policy_spec(straggler_spec, policy))
+            for straggler_spec in STRAGGLER_SCENARIOS.values()
+            for policy in ("baseline", "greedy", "elastic")
+        ]
+    )
     rows = []
     for scenario, straggler_spec in STRAGGLER_SCENARIOS.items():
         baseline_time = None
         for policy in ("baseline", "greedy", "elastic"):
-            spec = {
-                "kind": "switch",
-                "percent": setup.policy_percent,
-                "stragglers": straggler_spec,
-                "ambient": False,
-            }
-            if policy != "baseline":
-                spec["online"] = policy
-            runs = runner.run_many(setup, spec)
+            runs = runner.run_many(setup, policy_spec(straggler_spec, policy))
             stats = accuracy_stats(runs) | time_stats(runs)
             if policy == "baseline":
                 baseline_time = stats["time_mean"]

@@ -24,6 +24,13 @@ TTA_THRESHOLD_FACTOR = 0.995
 
 def table_1(runner: ExperimentRunner) -> Report:
     """Table I: setups, policies, throughput and TTA speedups."""
+    runner.prefetch(
+        [
+            (SETUPS[index], {"kind": "switch", "percent": percent})
+            for index in (1, 2, 3)
+            for percent in (100.0, 0.0, SETUPS[index].policy_percent)
+        ]
+    )
     rows = []
     for index in (1, 2, 3):
         setup = SETUPS[index]

@@ -8,9 +8,13 @@ from repro.core.policies import (
     PolicyManager,
     TimingPolicy,
 )
-from repro.core.runtime import SyncSwitchController
+from repro.core.runtime import (
+    StragglerDetector,
+    SyncSwitchController,
+    ThroughputProfiler,
+)
 from repro.distsim.cluster import ClusterSpec
-from repro.distsim.job import JobConfig
+from repro.distsim.job import JobConfig, Segment
 from repro.distsim.stragglers import StragglerEvent, StragglerSchedule
 
 
@@ -102,6 +106,38 @@ class TestGreedyPolicy:
             PolicyManager(timing=TimingPolicy(0.5), straggler=GreedyPolicy())
         ).run_job()
         assert outcome.interventions == ()
+
+    def test_interlude_at_exhausted_budget_is_free(self):
+        """Regression: no switch may be charged (or logged) once the job
+        is already at its step budget."""
+        policy = GreedyPolicy()
+        ctrl = controller(
+            PolicyManager(timing=TimingPolicy(0.5), straggler=policy)
+        )
+        session = ctrl.trainer.new_session()
+        bsp = Segment("bsp", 0.5)
+        asp = Segment("asp", 0.5)
+        ctrl.trainer.run_segment(
+            session, bsp, ctrl.job.total_steps, charge_switch=False
+        )
+        assert session.step >= ctrl.job.total_steps
+        overhead_before = session.telemetry.total_overhead
+        ctrl._interventions = []
+        finished = ctrl._greedy_interlude(
+            session,
+            bsp,
+            asp,
+            StragglerDetector(
+                consecutive=policy.detection_windows,
+                clear_windows=policy.clear_windows,
+            ),
+            ThroughputProfiler(batch_size=ctrl.job.batch_size, window=5),
+            [3],
+        )
+        assert finished is True
+        assert ctrl._interventions == []
+        assert session.telemetry.total_overhead == overhead_before
+        assert session.telemetry.switch_count == 0
 
 
 class TestElasticPolicy:

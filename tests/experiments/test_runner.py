@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.distsim.job import JobConfig
 from repro.errors import ConfigurationError
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.setups import SETUPS
@@ -82,6 +83,23 @@ def test_custom_static_spec_with_options(runner):
         0,
     )
     assert result.images_processed == result.completed_steps * 256
+
+
+def test_steps_scale_preserves_all_job_fields():
+    """Regression: steps_scale must not reset fields to their defaults."""
+    job = JobConfig(
+        model="resnet32-sim",
+        dataset="cifar10-sim",
+        total_steps=4000,
+        batch_size=256,
+        divergence_threshold=7.5,
+        seed=3,
+    )
+    scaled = ExperimentRunner._with_steps_scale(job, 0.5)
+    assert scaled.total_steps == 2000
+    assert scaled.divergence_threshold == 7.5
+    assert scaled.batch_size == 256
+    assert scaled.seed == 3
 
 
 def test_steps_scale_shortens_run(runner):

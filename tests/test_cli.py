@@ -16,6 +16,27 @@ def test_parser_subcommands():
     assert args.setup == 2
 
 
+def test_parser_jobs_option():
+    parser = build_parser()
+    for argv in (
+        ["search", "--jobs", "4"],
+        ["report", "fig2", "--jobs", "4"],
+    ):
+        assert parser.parse_args(argv).jobs == 4
+    assert parser.parse_args(["search"]).jobs is None
+    # single-cell `run` deliberately has no --jobs knob
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--jobs", "4"])
+
+
+def test_report_command_with_jobs(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["report", "tab3", "--scale", "0.008", "--seeds", "1",
+                 "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+
+
 def test_parser_rejects_unknown_artifact():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["report", "fig99"])
