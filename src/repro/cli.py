@@ -1,4 +1,4 @@
-"""Command-line interface: ``sync-switch``.
+"""Command-line interface: ``sync-switch`` (also ``python -m repro``).
 
 The paper's users "manage their distributed training jobs via the
 command line" (Section V); this CLI exposes the same workflows on the
@@ -6,8 +6,11 @@ simulator:
 
 * ``sync-switch run`` — train one job under a policy.
 * ``sync-switch search`` — offline binary search for the switch timing.
-* ``sync-switch report`` — regenerate a paper table or figure.
-* ``sync-switch list`` — show setups and available artifacts.
+* ``sync-switch report`` — regenerate paper tables/figures; several at
+  once (or ``all``) prefetch the union grid as one batch.
+* ``sync-switch fleet`` — serve a multi-job stream on a shared worker
+  pool and write the fleet summary artifact.
+* ``sync-switch list`` — show setups, artifacts and fleet scenarios.
 """
 
 from __future__ import annotations
@@ -20,9 +23,17 @@ from repro.experiments import (
     ARTIFACTS,
     SETUPS,
     ExperimentRunner,
+    prefetch_union,
     render_report,
 )
+from repro.experiments.fleet import (
+    DEFAULT_FLEET_SCALE,
+    fleet_grid,
+    fleet_report,
+    write_fleet_summary,
+)
 from repro.experiments.setups import scaled_job
+from repro.fleet import FLEET_SCENARIOS, SCHEDULERS, SYNC_POLICIES, load_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -58,13 +69,61 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--beta", type=float, default=0.01)
     _add_jobs_argument(search)
 
-    report = sub.add_parser("report", help="regenerate a paper artifact")
-    report.add_argument("artifact", choices=sorted(ARTIFACTS))
+    report = sub.add_parser(
+        "report",
+        help="regenerate paper artifacts (several at once batch their "
+        "union grid; 'all' renders everything)",
+    )
+    report.add_argument(
+        "artifact", nargs="+", choices=sorted(ARTIFACTS) + ["all"]
+    )
     report.add_argument("--scale", type=float, default=None)
     report.add_argument("--seeds", type=int, default=None)
     _add_jobs_argument(report)
 
-    sub.add_parser("list", help="show setups and artifacts")
+    fleet = sub.add_parser(
+        "fleet", help="serve a multi-job stream on a shared worker pool"
+    )
+    fleet.add_argument(
+        "--scenario", default="rush", choices=sorted(FLEET_SCENARIOS)
+    )
+    fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="number of training jobs in the stream (default: scenario)",
+    )
+    fleet.add_argument(
+        "--scheduler",
+        default="all",
+        choices=sorted(SCHEDULERS) + ["all"],
+    )
+    fleet.add_argument(
+        "--policy",
+        default="all",
+        choices=sorted(SYNC_POLICIES) + ["all"],
+        help="synchronization policy of every job in the stream",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--scale", type=float, default=DEFAULT_FLEET_SCALE)
+    fleet.add_argument(
+        "--trace",
+        default=None,
+        help="JSON trace of job arrivals (replaces the scenario stream)",
+    )
+    fleet.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="worker processes for the scenario grid (default: REPRO_JOBS)",
+    )
+    fleet.add_argument(
+        "--out",
+        default=None,
+        help="fleet summary artifact path (default: results/fleet_summary.json)",
+    )
+
+    sub.add_parser("list", help="show setups, artifacts and fleet scenarios")
     return parser
 
 
@@ -128,9 +187,57 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    names = list(dict.fromkeys(args.artifact))
+    if "all" in names:
+        names = sorted(ARTIFACTS)
     runner = ExperimentRunner(scale=args.scale, seeds=args.seeds, jobs=args.jobs)
-    report = ARTIFACTS[args.artifact](runner)
-    print(render_report(report))
+    if len(names) > 1:
+        # Cross-artifact scheduling: one deduplicated union batch warms
+        # the cache before any artifact renders.
+        cells = prefetch_union(runner, [ARTIFACTS[name] for name in names])
+        print(f"prefetched {cells} unique cells across {len(names)} artifacts")
+    for index, name in enumerate(names):
+        if index:
+            print()
+        print(render_report(ARTIFACTS[name](runner)))
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    schedulers = (
+        tuple(sorted(SCHEDULERS))
+        if args.scheduler == "all"
+        else (args.scheduler,)
+    )
+    policies = (
+        SYNC_POLICIES if args.policy == "all" else (args.policy,)
+    )
+    if args.trace and args.jobs is not None:
+        print(
+            "error: --jobs sets the generated stream length and cannot be "
+            "combined with --trace (the trace fixes the stream)",
+            file=sys.stderr,
+        )
+        return 2
+    trace = load_trace(args.trace) if args.trace else None
+    # A trace replaces the scenario stream entirely; label the run (and
+    # its cache keys) accordingly instead of with the unused scenario.
+    scenario = "trace" if trace is not None else args.scenario
+    grid = fleet_grid(
+        scenario=scenario,
+        schedulers=schedulers,
+        policies=policies,
+        seed=args.seed,
+        scale=args.scale,
+        n_jobs=args.jobs,
+        trace=trace,
+        jobs=args.procs,
+    )
+    print(render_report(fleet_report(grid, scenario)))
+    target = write_fleet_summary(
+        grid, scenario, args.scale, args.seed, path=args.out
+    )
+    print(f"\nfleet summary written to {target}")
     return 0
 
 
@@ -145,6 +252,13 @@ def _cmd_list(_args) -> int:
             f"{setup.policy_percent:g}%)"
         )
     print("artifacts:", ", ".join(sorted(ARTIFACTS)))
+    print("fleet scenarios:")
+    for name in sorted(FLEET_SCENARIOS):
+        scenario = FLEET_SCENARIOS[name]
+        print(
+            f"  {name}: {scenario.description} "
+            f"(pool {scenario.pool_size}, {scenario.n_jobs} jobs)"
+        )
     return 0
 
 
@@ -155,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "search": _cmd_search,
         "report": _cmd_report,
+        "fleet": _cmd_fleet,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

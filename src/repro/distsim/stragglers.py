@@ -110,13 +110,25 @@ class StragglerSchedule:
         factor, latency = self.state_at(worker, time)
         return factor > 1.0 or latency > 0.0
 
+    def events_for(self, worker: int) -> tuple[StragglerEvent, ...]:
+        """All events of ``worker``, sorted by start time."""
+        return tuple(self._by_worker.get(worker, ()))
+
     def active_workers(self, time: float) -> set[int]:
-        """Set of workers slowed at ``time``."""
-        return {
-            event.worker
-            for event in self.events
-            if event.start <= time < event.end
-        }
+        """Set of workers slowed at ``time``.
+
+        Uses the per-worker bisect index like :meth:`state_at` (this is
+        called once per simulated step in the engines' hot loops), not a
+        scan over the full event list.
+        """
+        active = set()
+        for worker, starts in self._starts.items():
+            bucket = self._by_worker[worker]
+            for event in bucket[: bisect_right(starts, time)]:
+                if event.end > time:
+                    active.add(worker)
+                    break
+        return active
 
     def next_clear_time(self, time: float) -> float | None:
         """Earliest future time at which no event is active (None if clear)."""
@@ -124,12 +136,14 @@ class StragglerSchedule:
         if not active:
             return None
         horizon = max(e.end for e in active)
-        # Events may chain: keep extending while another event overlaps.
+        # Events may chain: keep extending while another event overlaps
+        # or starts exactly at the horizon (event starts are inclusive,
+        # so a zero-overlap adjacent event still keeps a worker slow).
         changed = True
         while changed:
             changed = False
             for event in self.events:
-                if event.start < horizon and event.end > horizon:
+                if event.start <= horizon and event.end > horizon:
                     horizon = event.end
                     changed = True
         return horizon

@@ -34,3 +34,7 @@ class ClusterError(ReproError):
 
 class SearchError(ReproError):
     """The offline binary search was mis-configured or could not run."""
+
+
+class FleetError(ReproError):
+    """The fleet simulator reached an inconsistent scheduling state."""

@@ -29,8 +29,12 @@ from repro.experiments.executor import (
     RunRequest,
     resolve_jobs,
 )
-from repro.experiments.reporting import Report, render_report
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.reporting import (
+    Report,
+    prefetch_union,
+    render_report,
+)
+from repro.experiments.runner import CollectionComplete, ExperimentRunner
 from repro.experiments.search_analysis import (
     figure_16,
     table_2,
@@ -46,6 +50,20 @@ from repro.experiments.setups import (
 )
 from repro.experiments.straggler_fig import figure_15
 from repro.experiments.tables import table_1, table_3
+
+
+def fleet_artifact(runner):
+    """The fleet scheduler x sync-policy comparison (lazy import).
+
+    :mod:`repro.experiments.fleet` pulls in :mod:`repro.fleet`, which
+    itself builds on this package's setups — importing it here at
+    module level would be circular, so the registry resolves it on
+    first use.
+    """
+    from repro.experiments.fleet import fleet_artifact as _fleet_artifact
+
+    return _fleet_artifact(runner)
+
 
 #: Registry used by the CLI and the benchmark suite.
 ARTIFACTS = {
@@ -69,10 +87,12 @@ ARTIFACTS = {
     "tab4": table_4,
     "tab5": table_5,
     "tab6": table_6,
+    "fleet": fleet_artifact,
 }
 
 __all__ = [
     "ARTIFACTS",
+    "CollectionComplete",
     "ExperimentRunner",
     "ExperimentSetup",
     "ParallelExecutor",
@@ -81,6 +101,8 @@ __all__ = [
     "SETUPS",
     "default_scale",
     "default_seeds",
+    "fleet_artifact",
+    "prefetch_union",
     "resolve_jobs",
     "figure_2",
     "figure_4a",

@@ -56,6 +56,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from hashlib import sha256
 from pathlib import Path
+from typing import Callable
 
 from repro.distsim.telemetry import TrainingResult
 from repro.errors import ConfigurationError
@@ -66,8 +67,10 @@ __all__ = [
     "ParallelExecutor",
     "RunRequest",
     "cache_key",
+    "digest_key",
     "disk_load",
     "disk_store",
+    "resolve_cache_dir",
     "resolve_jobs",
 ]
 
@@ -92,40 +95,71 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
+def digest_key(payload: dict) -> str:
+    """Canonical cache identity: sorted-JSON -> sha256, truncated.
+
+    The single hashing recipe shared by every cell type (training
+    cells here, fleet cells in :mod:`repro.experiments.fleet`), with
+    the calibration version mixed in so recalibrations invalidate
+    every cache namespace at once.
+    """
+    canonical = json.dumps(
+        {"calibration": CALIBRATION_VERSION, **payload}, sort_keys=True
+    )
+    return sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
 def cache_key(
     setup: ExperimentSetup, spec: dict, seed: int, scale: float
 ) -> str:
     """Stable cache key for one ``(setup, spec, seed)`` cell at ``scale``."""
-    payload = json.dumps(
-        {
-            "calibration": CALIBRATION_VERSION,
-            "setup": setup.key,
-            "scale": scale,
-            "spec": spec,
-            "seed": seed,
-        },
-        sort_keys=True,
+    return digest_key(
+        {"setup": setup.key, "scale": scale, "spec": spec, "seed": seed}
     )
-    return sha256(payload.encode("utf-8")).hexdigest()[:24]
 
 
-def disk_load(cache_dir: Path | None, key: str) -> TrainingResult | None:
-    """Load one cached cell, tolerating missing or corrupt entries."""
+def resolve_cache_dir(cache_dir: str | Path | None) -> Path | None:
+    """Resolve (and create) the on-disk cache directory.
+
+    ``None`` reads ``REPRO_CACHE_DIR`` and falls back to the repo-root
+    ``.exp_cache``; the strings ``"0"``/``"off"``/``"none"`` disable
+    disk caching entirely.
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "") or (
+            Path(__file__).resolve().parents[3] / ".exp_cache"
+        )
+    if isinstance(cache_dir, str) and cache_dir.lower() in ("0", "off", "none"):
+        return None
+    path = Path(cache_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def disk_load(cache_dir: Path | None, key: str, decode=None):
+    """Load one cached cell, tolerating missing or corrupt entries.
+
+    ``decode`` converts the stored JSON dict back into a result object
+    (default: :meth:`TrainingResult.from_dict`); fleet cells pass their
+    own decoder.
+    """
     if cache_dir is None:
         return None
+    decode = decode or TrainingResult.from_dict
     path = Path(cache_dir) / f"{key}.json"
     if not path.exists():
         return None
     try:
         with path.open("r", encoding="utf-8") as handle:
-            return TrainingResult.from_dict(json.load(handle))
-    except (json.JSONDecodeError, KeyError, OSError):
+            return decode(json.load(handle))
+    except (json.JSONDecodeError, KeyError, TypeError, OSError):
         return None
 
 
-def disk_store(cache_dir: Path | None, key: str, result: TrainingResult) -> None:
+def disk_store(cache_dir: Path | None, key: str, result) -> None:
     """Atomically persist one cell: write a temp file, then ``os.replace``.
 
+    ``result`` is anything with a ``to_dict()`` (or a plain dict).
     Concurrent writers of the same key race benignly (last replace
     wins with identical content); readers never see a partial file.
     """
@@ -133,6 +167,7 @@ def disk_store(cache_dir: Path | None, key: str, result: TrainingResult) -> None
         return
     cache_dir = Path(cache_dir)
     path = cache_dir / f"{key}.json"
+    payload = result.to_dict() if hasattr(result, "to_dict") else result
     handle = tempfile.NamedTemporaryFile(
         mode="w",
         encoding="utf-8",
@@ -143,7 +178,7 @@ def disk_store(cache_dir: Path | None, key: str, result: TrainingResult) -> None
     )
     try:
         with handle:
-            json.dump(result.to_dict(), handle)
+            json.dump(payload, handle)
         os.replace(handle.name, path)
     except BaseException:
         try:
@@ -173,7 +208,7 @@ def _execute_cell(payload: tuple) -> tuple[str, dict]:
     executing (a sibling may have finished the cell meanwhile) and
     stores the result atomically on completion.
     """
-    scale, cache_dir, setup, spec, seed, key = payload
+    scale, cache_dir, request, key = payload
     from repro.experiments.runner import ExperimentRunner
 
     runner = ExperimentRunner(
@@ -181,7 +216,7 @@ def _execute_cell(payload: tuple) -> tuple[str, dict]:
         seeds=1,
         cache_dir=cache_dir if cache_dir is not None else "off",
     )
-    return key, runner.run(setup, spec, seed).to_dict()
+    return key, runner.run(request.setup, request.spec, request.seed).to_dict()
 
 
 @dataclass
@@ -191,11 +226,20 @@ class ParallelExecutor:
     ``jobs=None`` resolves through :func:`resolve_jobs` (``REPRO_JOBS``,
     default 1).  ``jobs=1`` executes inline; larger values fan the
     batch out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    The executor is generic over the cell type: requests only need a
+    ``key(scale)`` identity, ``cell_fn`` is the (picklable, top-level)
+    worker receiving ``(scale, cache_dir, request, key)`` and returning
+    ``(key, json_dict)``, and ``decode`` rebuilds the result object.
+    The defaults execute :class:`RunRequest` training cells; the fleet
+    scenario driver plugs in its own cell type.
     """
 
     scale: float
     cache_dir: Path | None = None
     jobs: int | None = None
+    cell_fn: Callable = _execute_cell
+    decode: Callable = TrainingResult.from_dict
     _resolved_jobs: int = field(init=False, repr=False)
 
     def __post_init__(self):
@@ -206,20 +250,20 @@ class ParallelExecutor:
         """The resolved worker count used for batches."""
         return self._resolved_jobs
 
-    def execute(self, requests) -> dict[str, TrainingResult]:
+    def execute(self, requests) -> dict:
         """Execute a batch of cells and return ``{cache_key: result}``.
 
         Duplicate requests (same cache key) are executed once.  Cells
         already on disk are loaded, never recomputed.
         """
         requests = list(requests)
-        unique: dict[str, RunRequest] = {}
+        unique: dict[str, object] = {}
         for request in requests:
             unique.setdefault(request.key(self.scale), request)
-        results: dict[str, TrainingResult] = {}
-        pending: dict[str, RunRequest] = {}
+        results: dict = {}
+        pending: dict[str, object] = {}
         for key, request in unique.items():
-            cached = disk_load(self.cache_dir, key)
+            cached = disk_load(self.cache_dir, key, self.decode)
             if cached is not None:
                 results[key] = cached
             else:
@@ -245,27 +289,20 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     # execution strategies
     # ------------------------------------------------------------------
-    def _payload(self, key: str, request: RunRequest) -> tuple:
+    def _payload(self, key: str, request) -> tuple:
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
-        return (
-            self.scale,
-            cache_dir,
-            request.setup,
-            request.spec,
-            request.seed,
-            key,
-        )
+        return (self.scale, cache_dir, request, key)
 
     def _execute_inline(self, pending, results) -> None:
         for done, (key, request) in enumerate(pending.items(), start=1):
-            _, data = _execute_cell(self._payload(key, request))
-            results[key] = TrainingResult.from_dict(data)
+            _, data = self.cell_fn(self._payload(key, request))
+            results[key] = self.decode(data)
             _LOG.info("batch progress: %d/%d cells done", done, len(pending))
 
     def _execute_pool(self, pending, results, workers: int) -> None:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_execute_cell, self._payload(key, request))
+                pool.submit(self.cell_fn, self._payload(key, request))
                 for key, request in pending.items()
             }
             done = 0
@@ -273,7 +310,7 @@ class ParallelExecutor:
                 finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in finished:
                     key, data = future.result()
-                    results[key] = TrainingResult.from_dict(data)
+                    results[key] = self.decode(data)
                     done += 1
                     _LOG.info(
                         "batch progress: %d/%d cells done", done, len(pending)

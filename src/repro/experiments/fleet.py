@@ -1,0 +1,284 @@
+"""Fleet scenario driver: scheduler x sync-policy comparison grids.
+
+One *fleet cell* is a full multi-job fleet simulation
+(:func:`repro.fleet.simulate_fleet`) for one ``(scenario, scheduler,
+sync policy, seed)`` combination.  The driver expands a grid of cells,
+fans it through the experiments layer's
+:class:`~repro.experiments.executor.ParallelExecutor` (same dedup,
+process-pool and atomic-disk-cache machinery as the training-cell
+batches) and folds the summaries into a
+:class:`~repro.experiments.reporting.Report` plus the
+``results/fleet_summary.json`` artifact comparing scheduler policies x
+synchronization policies on fleet JCT.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.executor import (
+    ParallelExecutor,
+    digest_key,
+    disk_load,
+    disk_store,
+    resolve_cache_dir,
+)
+from repro.experiments.reporting import Report
+from repro.experiments.runner import CollectionComplete, ExperimentRunner
+from repro.fleet import (
+    FLEET_SCENARIOS,
+    SCHEDULERS,
+    SYNC_POLICIES,
+    FleetConfig,
+    FleetSummary,
+    JobRequest,
+    simulate_fleet,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_SCALE",
+    "FleetRunRequest",
+    "fleet_artifact",
+    "fleet_grid",
+    "fleet_report",
+    "write_fleet_summary",
+]
+
+#: Default results artifact location (repo root / results).
+DEFAULT_SUMMARY_PATH = (
+    Path(__file__).resolve().parents[3] / "results" / "fleet_summary.json"
+)
+
+#: Step-budget scale used by every fleet entry point (the ``fleet``
+#: CLI and the ``report fleet`` artifact).  Fleet cells multiply one
+#: training run by (schedulers x policies x stream length), so they
+#: run at a small fixed scale rather than the report default, keeping
+#: ``report all`` affordable and the two surfaces' numbers identical.
+DEFAULT_FLEET_SCALE = 0.008
+
+
+@dataclass(frozen=True)
+class FleetRunRequest:
+    """One fleet cell: a scenario served by one scheduler and policy."""
+
+    scenario: str
+    scheduler: str
+    sync_policy: str
+    seed: int = 0
+    n_jobs: int | None = None
+    trace: tuple[JobRequest, ...] | None = None
+
+    def key(self, scale: float) -> str:
+        """Cache key of this cell at ``scale`` (the dedup identity)."""
+        return digest_key(
+            {
+                "kind": "fleet",
+                "scenario": self.scenario,
+                "scheduler": self.scheduler,
+                "sync_policy": self.sync_policy,
+                "seed": self.seed,
+                "n_jobs": self.n_jobs,
+                "scale": scale,
+                "trace": (
+                    [request.to_dict() for request in self.trace]
+                    if self.trace is not None
+                    else None
+                ),
+            }
+        )
+
+    def config(self, scale: float) -> FleetConfig:
+        """The simulator configuration for this cell."""
+        return FleetConfig(
+            scenario=self.scenario,
+            scheduler=self.scheduler,
+            sync_policy=self.sync_policy,
+            seed=self.seed,
+            scale=scale,
+            n_jobs=self.n_jobs,
+            trace=self.trace,
+        )
+
+
+def _execute_fleet_cell(payload: tuple) -> tuple[str, dict]:
+    """Pool worker: simulate one fleet cell (re-checking the disk cache)."""
+    scale, cache_dir, request, key = payload
+    cache_path = Path(cache_dir) if cache_dir is not None else None
+    cached = disk_load(cache_path, key, FleetSummary.from_dict)
+    if cached is not None:
+        return key, cached.to_dict()
+    summary = simulate_fleet(request.config(scale))
+    disk_store(cache_path, key, summary)
+    return key, summary.to_dict()
+
+
+def fleet_grid(
+    scenario: str = "rush",
+    schedulers: tuple[str, ...] | None = None,
+    policies: tuple[str, ...] | None = None,
+    seed: int = 0,
+    scale: float = 0.008,
+    n_jobs: int | None = None,
+    trace: tuple[JobRequest, ...] | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> dict[tuple[str, str], FleetSummary]:
+    """Simulate a scheduler x sync-policy grid for one scenario.
+
+    The grid executes as one deduplicated
+    :class:`~repro.experiments.executor.ParallelExecutor` batch
+    (``jobs`` worker processes, atomic shared disk cache), exactly like
+    the figure/table training grids.
+    """
+    schedulers = schedulers or tuple(sorted(SCHEDULERS))
+    policies = policies or SYNC_POLICIES
+    requests = [
+        FleetRunRequest(
+            scenario=scenario,
+            scheduler=scheduler,
+            sync_policy=policy,
+            seed=seed,
+            n_jobs=n_jobs,
+            trace=trace,
+        )
+        for scheduler in schedulers
+        for policy in policies
+    ]
+    executor = ParallelExecutor(
+        scale=scale,
+        cache_dir=resolve_cache_dir(cache_dir),
+        jobs=jobs,
+        cell_fn=_execute_fleet_cell,
+        decode=FleetSummary.from_dict,
+    )
+    results = executor.execute(requests)
+    return {
+        (request.scheduler, request.sync_policy): results[request.key(scale)]
+        for request in requests
+    }
+
+
+def fleet_report(
+    grid: dict[tuple[str, str], FleetSummary], scenario: str
+) -> Report:
+    """Fold a fleet grid into a renderable :class:`Report`."""
+    description = (
+        FLEET_SCENARIOS[scenario].description
+        if scenario in FLEET_SCENARIOS
+        else "trace-driven stream"
+    )
+    rows = []
+    for (scheduler, policy), summary in sorted(grid.items()):
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "sync_policy": policy,
+                "mean_jct_s": summary.mean_jct,
+                "p95_jct_s": summary.p95_jct,
+                "queue_delay_s": summary.mean_queue_delay,
+                "makespan_s": summary.makespan,
+                "utilization": summary.utilization,
+                "imgs_per_s": summary.images_per_second,
+                "preempt": summary.preemptions,
+                "diverged": summary.diverged_jobs,
+            }
+        )
+    return Report(
+        ident=f"Fleet ({scenario})",
+        title=f"Multi-tenant fleet JCT: {description}",
+        columns=[
+            "scheduler",
+            "sync_policy",
+            "mean_jct_s",
+            "p95_jct_s",
+            "queue_delay_s",
+            "makespan_s",
+            "utilization",
+            "imgs_per_s",
+            "preempt",
+            "diverged",
+        ],
+        rows=rows,
+        notes=[
+            "JCT = arrival to completion, simulated seconds; every job "
+            "trains through the SyncSwitchController on its allocation",
+            "sync-switch amortizes the paper's recurring-job argument "
+            "across a shared cluster: faster service drains the queue",
+        ],
+    )
+
+
+def write_fleet_summary(
+    grid: dict[tuple[str, str], FleetSummary],
+    scenario: str,
+    scale: float,
+    seed: int,
+    path: str | Path | None = None,
+) -> Path:
+    """Persist the grid as the ``results/fleet_summary.json`` artifact."""
+    target = Path(path) if path is not None else DEFAULT_SUMMARY_PATH
+    target.parent.mkdir(parents=True, exist_ok=True)
+    cells = [
+        {
+            "scheduler": scheduler,
+            "sync_policy": policy,
+            **{
+                metric: getattr(summary, metric)
+                for metric in (
+                    "mean_jct",
+                    "p95_jct",
+                    "max_jct",
+                    "mean_queue_delay",
+                    "makespan",
+                    "utilization",
+                    "images_per_second",
+                    "preemptions",
+                    "restores",
+                    "diverged_jobs",
+                    "mean_accuracy",
+                    "n_jobs",
+                    "pool_size",
+                )
+            },
+        }
+        for (scheduler, policy), summary in sorted(grid.items())
+    ]
+    payload = {
+        "scenario": scenario,
+        "scale": scale,
+        "seed": seed,
+        "cells": cells,
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def fleet_artifact(runner: ExperimentRunner) -> Report:
+    """The ``fleet`` entry of the artifact registry.
+
+    Runs the default comparison grid (rush scenario, all schedulers x
+    all sync policies) sharing the runner's cache directory and
+    worker-process count.  Always simulates at
+    :data:`DEFAULT_FLEET_SCALE` — the same scale as the ``fleet`` CLI
+    — so ``report fleet`` matches ``results/fleet_summary.json`` and
+    ``report all`` stays affordable; vary the scale through the
+    ``fleet`` command instead.  Not prefetchable as training cells, so
+    under collect-only mode it contributes nothing to a cross-artifact
+    union batch.
+    """
+    if runner.is_collecting:
+        raise CollectionComplete
+    grid = fleet_grid(
+        scenario="rush",
+        scale=DEFAULT_FLEET_SCALE,
+        jobs=runner.jobs,
+        cache_dir=runner.cache_dir if runner.cache_dir is not None else "off",
+    )
+    report = fleet_report(grid, "rush")
+    report.notes.append(
+        f"fleet cells always run at scale {DEFAULT_FLEET_SCALE:g} (the "
+        "fleet CLI default); use `fleet --scale` to vary it"
+    )
+    return report

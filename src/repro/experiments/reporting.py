@@ -1,17 +1,37 @@
-"""Report objects and plain-text rendering.
+"""Report objects, plain-text rendering and cross-artifact scheduling.
 
 Every figure/table generator returns a :class:`Report`: measured rows,
 the paper's corresponding numbers where available, and notes about
 substitutions or caveats.  ``render_report`` prints the same rows the
 paper's artifact shows, aligned for terminal reading; the benchmark
 harness tees these into ``EXPERIMENTS.md``.
+
+When several artifacts are rendered in one invocation (``report all``
+or ``report fig2 fig5b ...``), :func:`prefetch_union` first collects
+every artifact's experiment grid without executing anything (see
+:meth:`~repro.experiments.runner.ExperimentRunner.collect_only`) and
+submits the *union* as one deduplicated batch, so overlapping grids
+(e.g. Fig. 2 ⊂ Fig. 5b ⊂ Fig. 11) train once and ``--jobs N``
+parallelism spans the whole invocation instead of one artifact at a
+time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Report", "render_report"]
+from repro.experiments.runner import (
+    CollectionComplete,
+    ExperimentRunner,
+    RunRequest,
+)
+
+__all__ = [
+    "Report",
+    "collect_artifact_cells",
+    "prefetch_union",
+    "render_report",
+]
 
 
 @dataclass
@@ -55,6 +75,43 @@ def _render_table(columns: list[str], rows: list[dict]) -> list[str]:
         if line_index == 0:
             lines.append("  ".join("-" * width for width in widths))
     return lines
+
+
+def collect_artifact_cells(
+    runner: ExperimentRunner, artifact_fn
+) -> list[RunRequest]:
+    """The experiment cells one artifact generator would prefetch.
+
+    Runs the generator under collect-only mode: its prefetch calls
+    record cells, and its first actual execution aborts it.  Artifacts
+    whose work is not expressible as prefetchable cells (the adaptive
+    binary-search tables, the fleet scenario grid) contribute whatever
+    they prefetch before executing — possibly nothing.
+    """
+    with runner.collect_only() as collected:
+        try:
+            artifact_fn(runner)
+        except CollectionComplete:
+            pass
+    return collected
+
+
+def prefetch_union(runner: ExperimentRunner, artifact_fns) -> int:
+    """Warm the cache with the union grid of several artifacts.
+
+    Collects every generator's grid, deduplicates across artifacts by
+    cache key, and executes the union as one batch (parallel when the
+    runner has ``jobs > 1``).  Returns the number of unique cells
+    submitted.
+    """
+    union: dict[str, RunRequest] = {}
+    for artifact_fn in artifact_fns:
+        for request in collect_artifact_cells(runner, artifact_fn):
+            union.setdefault(request.key(runner.scale), request)
+    requests = list(union.values())
+    if requests:
+        runner.run_batch(requests)
+    return len(requests)
 
 
 def render_report(report: Report) -> str:

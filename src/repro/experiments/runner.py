@@ -47,7 +47,7 @@ Spec reference::
 
 from __future__ import annotations
 
-import os
+from contextlib import contextmanager
 from dataclasses import replace
 from pathlib import Path
 
@@ -75,6 +75,7 @@ from repro.experiments.executor import (
     cache_key,
     disk_load,
     disk_store,
+    resolve_cache_dir,
     resolve_jobs,
 )
 from repro.experiments.setups import (
@@ -85,7 +86,20 @@ from repro.experiments.setups import (
 )
 from repro.rng import child_rng
 
-__all__ = ["ExperimentRunner", "CALIBRATION_VERSION"]
+__all__ = ["ExperimentRunner", "CollectionComplete", "CALIBRATION_VERSION"]
+
+
+class CollectionComplete(Exception):
+    """Raised when a runner in collect-only mode is asked to execute.
+
+    Artifact generators prefetch their full grid before assembling any
+    rows, so under :meth:`ExperimentRunner.collect_only` the prefetch
+    calls record their cells and the first actual execution aborts the
+    generator with this (control-flow, non-error) exception.  The
+    cross-artifact scheduler in :mod:`repro.experiments.reporting` uses
+    this to gather the union grid of many artifacts without running
+    anything.
+    """
 
 
 class ExperimentRunner:
@@ -107,7 +121,8 @@ class ExperimentRunner:
         self.n_seeds = seeds if seeds is not None else default_seeds()
         self.jobs = resolve_jobs(jobs)
         self._memory: dict[str, TrainingResult] = {}
-        self._cache_dir = self._resolve_cache_dir(cache_dir)
+        self._cache_dir = resolve_cache_dir(cache_dir)
+        self._collecting: list[RunRequest] | None = None
         self._executor = ParallelExecutor(
             scale=self.scale, cache_dir=self._cache_dir, jobs=self.jobs
         )
@@ -115,10 +130,39 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    @property
+    def cache_dir(self) -> Path | None:
+        """Resolved on-disk cache directory (None when disabled)."""
+        return self._cache_dir
+
+    @contextmanager
+    def collect_only(self):
+        """Record prefetched cells instead of executing anything.
+
+        Inside the context, :meth:`prefetch` appends its expanded
+        :class:`RunRequest` cells to the yielded list and returns no
+        results, while :meth:`run` and :meth:`run_batch` raise
+        :class:`CollectionComplete`.  Used by the cross-artifact report
+        scheduler to gather the union grid of several artifacts.
+        """
+        collected: list[RunRequest] = []
+        self._collecting = collected
+        try:
+            yield collected
+        finally:
+            self._collecting = None
+
+    @property
+    def is_collecting(self) -> bool:
+        """Whether the runner is inside :meth:`collect_only`."""
+        return self._collecting is not None
+
     def run(
         self, setup: ExperimentSetup, spec: dict, seed: int
     ) -> TrainingResult:
         """Execute one configuration (cached)."""
+        if self._collecting is not None:
+            raise CollectionComplete
         key = self._key(setup, spec, seed)
         if key in self._memory:
             return self._memory[key]
@@ -139,6 +183,8 @@ class ExperimentRunner:
         when ``jobs=1``).  Results come back in request order and are
         bit-identical to serial execution.
         """
+        if self._collecting is not None:
+            raise CollectionComplete
         keyed = [(request.key(self.scale), request) for request in requests]
         missing = {
             key: request for key, request in keyed if key not in self._memory
@@ -159,13 +205,15 @@ class ExperimentRunner:
         subsequent :meth:`run_many` calls then assemble from cache.
         """
         count = seeds if seeds is not None else self.n_seeds
-        return self.run_batch(
-            [
-                RunRequest(setup, spec, seed)
-                for setup, spec in cells
-                for seed in range(count)
-            ]
-        )
+        expanded = [
+            RunRequest(setup, spec, seed)
+            for setup, spec in cells
+            for seed in range(count)
+        ]
+        if self._collecting is not None:
+            self._collecting.extend(expanded)
+            return []
+        return self.run_batch(expanded)
 
     def run_many(
         self,
@@ -373,21 +421,6 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def _key(self, setup: ExperimentSetup, spec: dict, seed: int) -> str:
         return cache_key(setup, spec, seed, self.scale)
-
-    def _resolve_cache_dir(self, cache_dir) -> Path | None:
-        if cache_dir is None:
-            cache_dir = os.environ.get("REPRO_CACHE_DIR", "") or (
-                Path(__file__).resolve().parents[3] / ".exp_cache"
-            )
-        if isinstance(cache_dir, str) and cache_dir.lower() in (
-            "0",
-            "off",
-            "none",
-        ):
-            return None
-        path = Path(cache_dir)
-        path.mkdir(parents=True, exist_ok=True)
-        return path
 
     def _disk_load(self, key: str) -> TrainingResult | None:
         return disk_load(self._cache_dir, key)

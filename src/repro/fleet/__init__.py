@@ -1,0 +1,61 @@
+"""Multi-tenant fleet layer: streams of Sync-Switch jobs on one pool.
+
+The fleet subsystem turns the single-job reproduction into a
+serving-scale simulator: job arrival streams
+(:mod:`repro.fleet.workload`), pluggable schedulers
+(:mod:`repro.fleet.scheduler`), the discrete-event loop
+(:mod:`repro.fleet.fleet_sim`) and fleet telemetry
+(:mod:`repro.fleet.metrics`).
+"""
+
+from repro.fleet.fleet_sim import (
+    FleetConfig,
+    FleetSimulator,
+    WorkerPool,
+    simulate_fleet,
+)
+from repro.fleet.metrics import FleetSummary, JobRecord, summarize_fleet
+from repro.fleet.scheduler import (
+    SCHEDULERS,
+    BestFitScheduler,
+    FifoScheduler,
+    SchedulerPolicy,
+    SmallestJobFirstScheduler,
+    make_scheduler,
+)
+from repro.fleet.workload import (
+    FLEET_SCENARIOS,
+    SYNC_POLICIES,
+    FleetScenario,
+    JobRequest,
+    estimate_service_time,
+    load_trace,
+    poisson_stream,
+    resolve_percent,
+    save_trace,
+)
+
+__all__ = [
+    "FLEET_SCENARIOS",
+    "SCHEDULERS",
+    "SYNC_POLICIES",
+    "BestFitScheduler",
+    "FifoScheduler",
+    "FleetConfig",
+    "FleetScenario",
+    "FleetSimulator",
+    "FleetSummary",
+    "JobRecord",
+    "JobRequest",
+    "SchedulerPolicy",
+    "SmallestJobFirstScheduler",
+    "WorkerPool",
+    "estimate_service_time",
+    "load_trace",
+    "make_scheduler",
+    "poisson_stream",
+    "resolve_percent",
+    "save_trace",
+    "simulate_fleet",
+    "summarize_fleet",
+]

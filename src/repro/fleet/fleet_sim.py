@@ -1,0 +1,502 @@
+"""Discrete-event multi-tenant fleet simulator.
+
+The fleet layer sits on top of the single-job reproduction: a stream
+of training jobs (Poisson arrivals or a trace file) is admitted onto a
+shared pool of simulated workers by a pluggable scheduler, every
+admitted job is trained through the existing
+:class:`~repro.core.runtime.controller.SyncSwitchController` with its
+own synchronization policy, and fleet-level telemetry (JCT, queueing
+delay, makespan, utilization) is aggregated into a
+:class:`~repro.fleet.metrics.FleetSummary`.
+
+Timeline model
+--------------
+
+Training a job is expensive relative to scheduling it, so each job is
+simulated *once*, at admission, on its full worker allocation; the
+resulting telemetry yields two phase spans:
+
+* the **BSP span** — everything up to the end of the last BSP segment
+  (plus switch overheads).  BSP is barrier-synchronized, so this span
+  is never stretched or shrunk by the fleet;
+* the **ASP tail** — the asynchronous remainder.  ASP throughput
+  scales roughly linearly with workers, so when the scheduler preempts
+  ``k`` of a job's ``n`` workers the remaining tail stretches by
+  ``n / (n - k)`` (and contracts again when workers are restored).
+
+Co-located jobs share contention: one fleet-wide straggler schedule is
+generated over the *physical* pool, and each admitted job sees the
+slice of that schedule covering its assigned workers from its start
+time onward — two jobs overlapping on a worker observe the same burst.
+
+Determinism: every stochastic choice derives from the fleet seed via
+:func:`repro.rng.child_rng`, so the same configuration always produces
+an identical :class:`FleetSummary`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.policies import ConfigurationPolicy, PolicyManager, TimingPolicy
+from repro.core.runtime import SyncSwitchController
+from repro.distsim.cluster import ClusterSpec
+from repro.distsim.stragglers import StragglerEvent, StragglerSchedule, ambient_contention
+from repro.distsim.telemetry import TrainingResult
+from repro.errors import ConfigurationError, FleetError
+from repro.experiments.setups import SETUPS, scaled_job
+from repro.fleet.metrics import FleetSummary, JobRecord, summarize_fleet
+from repro.fleet.scheduler import SchedulerPolicy, make_scheduler
+from repro.fleet.workload import (
+    FLEET_SCENARIOS,
+    JobRequest,
+    estimate_service_time,
+    poisson_stream,
+)
+from repro.rng import child_rng, child_seed
+
+__all__ = ["FleetConfig", "WorkerPool", "FleetSimulator", "simulate_fleet"]
+
+#: Event priorities at equal timestamps: completions free workers
+#: before phase flips and new arrivals are considered.
+_FINISH, _PHASE, _ARRIVAL = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet simulation: scenario, scheduler, policy, seed, scale."""
+
+    scenario: str = "rush"
+    scheduler: str = "fifo"
+    sync_policy: str = "sync-switch"
+    seed: int = 0
+    scale: float = 0.008
+    n_jobs: int | None = None
+    pool_size: int | None = None
+    preemption_floor: int = 2
+    ambient: bool = True
+    contention: bool = True
+    trace: tuple[JobRequest, ...] | None = None
+
+    def __post_init__(self):
+        if self.trace is None and self.scenario not in FLEET_SCENARIOS:
+            raise ConfigurationError(
+                f"unknown scenario {self.scenario!r}; "
+                f"known: {sorted(FLEET_SCENARIOS)}"
+            )
+        if self.trace is not None and self.n_jobs is not None:
+            # A trace fixes the stream; a silently ignored n_jobs would
+            # still split the cache key per value.
+            raise ConfigurationError("n_jobs cannot be combined with a trace")
+        if self.preemption_floor < 1:
+            raise ConfigurationError("preemption_floor must be >= 1")
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigurationError("scale must be in (0, 1]")
+
+
+class WorkerPool:
+    """Allocatable pool of physical worker ids (lowest-id-first)."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ConfigurationError("pool size must be positive")
+        self.size = size
+        self._free = list(range(size))
+
+    @property
+    def free_count(self) -> int:
+        """Number of unallocated workers."""
+        return len(self._free)
+
+    @property
+    def busy_count(self) -> int:
+        """Number of allocated workers."""
+        return self.size - len(self._free)
+
+    def allocate(self, count: int) -> tuple[int, ...]:
+        """Take the ``count`` lowest free worker ids."""
+        if count > len(self._free):
+            raise FleetError(
+                f"cannot allocate {count} workers; only {len(self._free)} free"
+            )
+        self._free.sort()
+        taken = tuple(self._free[:count])
+        del self._free[:count]
+        return taken
+
+    def release(self, workers: tuple[int, ...]) -> None:
+        """Return workers to the pool."""
+        for worker in workers:
+            if worker in self._free or not 0 <= worker < self.size:
+                raise FleetError(f"cannot release worker {worker}")
+        self._free.extend(workers)
+
+
+class _RunningJob:
+    """Bookkeeping for one admitted job's fleet timeline."""
+
+    def __init__(
+        self,
+        request: JobRequest,
+        workers: tuple[int, ...],
+        start: float,
+        result: TrainingResult,
+    ):
+        self.request = request
+        self.workers = workers
+        self.start = start
+        self.result = result
+        self.demand = request.n_workers
+        self.phase = "bsp"
+        self.version = 0
+        self.preemptions = 0
+        self.restores = 0
+        # Phase spans from the training telemetry: everything after the
+        # last BSP segment is the elastic ASP tail.
+        tail = 0.0
+        for record in reversed(result.segment_summary):
+            if record["protocol"] == "bsp":
+                break
+            tail += record["duration"]
+        self.asp_tail = min(tail, result.total_time)
+        self.bsp_span = result.total_time - self.asp_tail
+        self.asp_remaining = self.asp_tail
+        self._mark = start + self.bsp_span
+
+    @property
+    def ratio(self) -> float:
+        """Current allocation as a fraction of the full demand."""
+        return len(self.workers) / self.demand
+
+    def enter_asp(self, now: float) -> None:
+        """Flip to the (preemptible, elastic) ASP phase."""
+        self.phase = "asp"
+        self._mark = now
+
+    def settle(self, now: float) -> None:
+        """Account ASP progress since the last allocation change."""
+        if self.phase != "asp":
+            return
+        self.asp_remaining = max(
+            self.asp_remaining - (now - self._mark) * self.ratio, 0.0
+        )
+        self._mark = now
+
+    def finish_time(self, now: float) -> float:
+        """Projected completion time at the current allocation."""
+        if self.phase == "bsp":
+            return self.start + self.bsp_span + self.asp_tail
+        return now + self.asp_remaining / self.ratio
+
+
+@dataclass
+class FleetSimulator:
+    """Discrete-event loop serving one stream of training jobs."""
+
+    config: FleetConfig
+    _seq: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self):
+        config = self.config
+        if config.trace is not None:
+            if not config.trace:
+                raise ConfigurationError("trace must contain at least one job")
+            self.stream = tuple(
+                sorted(
+                    config.trace,
+                    key=lambda request: (request.arrival, request.job_id),
+                )
+            )
+            self.scenario_name = config.scenario or "trace"
+            default_pool = (
+                max(request.n_workers for request in self.stream) * 2
+            )
+        else:
+            base = FLEET_SCENARIOS[config.scenario]
+            self.scenario_name = base.name
+            self.stream = poisson_stream(
+                base,
+                config.scale,
+                config.seed,
+                n_jobs=config.n_jobs,
+                sync_policy=config.sync_policy,
+            )
+            default_pool = base.pool_size
+        self.pool_size = config.pool_size or default_pool
+        ids = [request.job_id for request in self.stream]
+        if len(set(ids)) != len(ids):
+            # Running jobs are keyed by id: a duplicate would silently
+            # orphan its predecessor's workers.
+            raise ConfigurationError("stream has duplicate job ids")
+        for request in self.stream:
+            if request.n_workers > self.pool_size:
+                raise ConfigurationError(
+                    f"job {request.job_id} demands {request.n_workers} "
+                    f"workers but the pool only has {self.pool_size}"
+                )
+        self.pool = WorkerPool(self.pool_size)
+        self.scheduler: SchedulerPolicy = make_scheduler(config.scheduler)
+        self.contention = self._fleet_contention()
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._queue: list[JobRequest] = []
+        self._running: dict[int, _RunningJob] = {}
+        self._records: list[JobRecord] = []
+        self._busy_seconds = 0.0
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self) -> FleetSummary:
+        """Simulate the whole stream and return the fleet summary."""
+        for request in self.stream:
+            self._push(request.arrival, _ARRIVAL, request)
+        while self._heap:
+            now, _, _, payload = heapq.heappop(self._heap)
+            self._advance(now)
+            if isinstance(payload, JobRequest):
+                self._queue.append(payload)
+            else:
+                kind, job_id, version = payload
+                job = self._running.get(job_id)
+                if job is None or job.version != version:
+                    continue  # superseded by a reallocation
+                if kind == "phase":
+                    job.enter_asp(now)
+                else:
+                    self._complete(job, now)
+            self._schedule(now)
+        if self._queue or self._running:
+            raise FleetError(
+                f"stream ended with {len(self._queue)} queued and "
+                f"{len(self._running)} running job(s)"
+            )
+        return summarize_fleet(
+            scenario=self.scenario_name,
+            scheduler=self.scheduler.name,
+            sync_policy=self.config.sync_policy,
+            seed=self.config.seed,
+            scale=self.config.scale,
+            pool_size=self.pool_size,
+            records=self._records,
+            busy_worker_seconds=self._busy_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: float, priority: int, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, self._seq, payload))
+
+    def _advance(self, now: float) -> None:
+        self._busy_seconds += self.pool.busy_count * (now - self._last_time)
+        self._last_time = now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _schedule(self, now: float) -> None:
+        """Admit, preempt and rebalance until nothing changes."""
+        while True:
+            admitted = self.scheduler.admit(
+                self._queue, self.pool.free_count, self.config.scale
+            )
+            for request in admitted:
+                self._queue.remove(request)
+                self._admit(request, now)
+            if admitted:
+                continue
+            if self.scheduler.preemptive and self._queue:
+                wanted = self.scheduler.preemption_request(
+                    self._queue, self.pool.free_count, self.config.scale
+                )
+                if wanted > 0 and self._preempt(wanted, now) > 0:
+                    continue
+            break
+        self._rebalance(now)
+
+    def _admit(self, request: JobRequest, now: float) -> None:
+        workers = self.pool.allocate(request.n_workers)
+        result = self._train(request, workers, now)
+        job = _RunningJob(request, workers, now, result)
+        self._running[request.job_id] = job
+        if job.asp_tail > 0.0 and job.bsp_span > 0.0:
+            self._push(
+                now + job.bsp_span, _PHASE, ("phase", request.job_id, 0)
+            )
+        elif job.asp_tail > 0.0:
+            job.enter_asp(now)
+        self._push(job.finish_time(now), _FINISH, ("finish", request.job_id, 0))
+
+    def _preempt(self, wanted: int, now: float) -> int:
+        """Reclaim up to ``wanted`` workers from ASP-phase jobs.
+
+        A no-op when the reclaimable surplus could not make any queued
+        job fit — shrinking victims only to restore them in the same
+        scheduling pass would be pure churn.
+        """
+        floor = self.config.preemption_floor
+        victims = sorted(
+            (
+                job
+                for job in self._running.values()
+                if job.phase == "asp" and len(job.workers) > floor
+            ),
+            key=lambda job: (-len(job.workers), job.request.job_id),
+        )
+        surplus = sum(len(job.workers) - floor for job in victims)
+        smallest = min(request.n_workers for request in self._queue)
+        if self.pool.free_count + surplus < smallest:
+            return 0
+        freed = 0
+        for job in victims:
+            if freed >= wanted:
+                break
+            take = min(len(job.workers) - floor, wanted - freed)
+            self._resize(job, len(job.workers) - take, now)
+            job.preemptions += 1
+            freed += take
+        return freed
+
+    def _rebalance(self, now: float) -> None:
+        """Give leftover free workers back to shrunk ASP jobs."""
+        while self.pool.free_count > 0:
+            starved = sorted(
+                (
+                    job
+                    for job in self._running.values()
+                    if job.phase == "asp" and len(job.workers) < job.demand
+                ),
+                key=lambda job: (job.ratio, job.request.job_id),
+            )
+            if not starved:
+                break
+            job = starved[0]
+            grant = min(
+                self.pool.free_count, job.demand - len(job.workers)
+            )
+            self._resize(job, len(job.workers) + grant, now)
+            job.restores += 1
+
+    def _resize(self, job: _RunningJob, new_count: int, now: float) -> None:
+        """Change a running ASP job's allocation and replan its finish."""
+        job.settle(now)
+        current = len(job.workers)
+        if new_count < current:
+            released = job.workers[new_count:]
+            job.workers = job.workers[:new_count]
+            self.pool.release(released)
+        elif new_count > current:
+            job.workers = job.workers + self.pool.allocate(new_count - current)
+        job.version += 1
+        self._push(
+            job.finish_time(now),
+            _FINISH,
+            ("finish", job.request.job_id, job.version),
+        )
+
+    def _complete(self, job: _RunningJob, now: float) -> None:
+        self.pool.release(job.workers)
+        del self._running[job.request.job_id]
+        result = job.result
+        self._records.append(
+            JobRecord(
+                job_id=job.request.job_id,
+                setup_index=job.request.setup_index,
+                sync_policy=job.request.sync_policy,
+                percent=job.request.percent,
+                demand=job.demand,
+                arrival=job.request.arrival,
+                start=job.start,
+                finish=now,
+                preemptions=job.preemptions,
+                restores=job.restores,
+                accuracy=result.reported_accuracy,
+                diverged=result.diverged,
+                completed_steps=result.completed_steps,
+                images=result.images_processed,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # training and shared contention
+    # ------------------------------------------------------------------
+    def _train(
+        self, request: JobRequest, workers: tuple[int, ...], now: float
+    ) -> TrainingResult:
+        """One full single-job simulation on the assigned workers."""
+        setup = SETUPS[request.setup_index]
+        seed = child_seed(
+            self.config.seed, f"fleet/job/{request.job_id}"
+        ) % (2**31)
+        job = scaled_job(setup, self.config.scale, seed)
+        policies = PolicyManager(
+            timing=TimingPolicy(request.percent / 100.0, source="fleet"),
+            config=ConfigurationPolicy(),
+        )
+        controller = SyncSwitchController(
+            job=job,
+            cluster_spec=ClusterSpec(n_workers=len(workers)),
+            policies=policies,
+            stragglers=self._job_stragglers(workers, now),
+            ambient_noise=self.config.ambient,
+            overhead_time_scale=self.config.scale,
+        )
+        return controller.run_job().result
+
+    def _fleet_contention(self) -> StragglerSchedule | None:
+        """Pool-wide contention events shared by co-located jobs."""
+        if not self.config.contention:
+            return None
+        last_arrival = max(
+            (request.arrival for request in self.stream), default=0.0
+        )
+        longest = max(
+            estimate_service_time(request.setup_index, 100.0, self.config.scale)
+            for request in self.stream
+        )
+        horizon = last_arrival + 3.0 * longest
+        return ambient_contention(
+            self.pool_size,
+            horizon,
+            child_rng(self.config.seed, f"fleet/{self.scenario_name}/contention"),
+            mean_interval=horizon / 6.0,
+            mean_duration=max(horizon / 50.0, 0.5),
+            slow_factor=3.0,
+        )
+
+    def _job_stragglers(
+        self, workers: tuple[int, ...], now: float
+    ) -> StragglerSchedule | None:
+        """Slice of the fleet contention seen by a job starting at ``now``.
+
+        Physical-worker events still active (or future) at admission are
+        remapped to the job's local worker indices with starts shifted
+        into job-relative time, so two jobs co-located on a worker see
+        the same burst during their overlap.
+        """
+        if self.contention is None:
+            return None
+        events = []
+        for local, physical in enumerate(workers):
+            for event in self.contention.events_for(physical):
+                if event.end <= now:
+                    continue
+                start = max(event.start - now, 0.0)
+                events.append(
+                    StragglerEvent(
+                        worker=local,
+                        start=start,
+                        duration=event.end - max(event.start, now),
+                        slow_factor=event.slow_factor,
+                        extra_latency=event.extra_latency,
+                    )
+                )
+        return StragglerSchedule(events) if events else None
+
+
+def simulate_fleet(config: FleetConfig) -> FleetSummary:
+    """Run one fleet configuration end to end."""
+    return FleetSimulator(config).run()

@@ -1,0 +1,192 @@
+"""Fleet-level telemetry: per-job records and scenario summaries.
+
+A fleet run produces one :class:`JobRecord` per training job (arrival,
+admission, completion, preemptions, training outcome) and one
+:class:`FleetSummary` aggregating them into the serving-scale metrics
+the multi-tenant literature reports: job completion time (JCT),
+queueing delay, makespan, worker utilization and aggregate throughput.
+
+Both objects are JSON-serializable (``to_dict``/``from_dict``) so fleet
+cells can share the experiment harness's atomic on-disk cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["JobRecord", "FleetSummary", "summarize_fleet"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Lifecycle of one training job inside a fleet run."""
+
+    job_id: int
+    setup_index: int
+    sync_policy: str
+    percent: float
+    demand: int
+    arrival: float
+    start: float
+    finish: float
+    preemptions: int
+    restores: int
+    accuracy: float | None
+    diverged: bool
+    completed_steps: int
+    images: int
+
+    @property
+    def jct(self) -> float:
+        """Job completion time: arrival to finish (queueing included)."""
+        return self.finish - self.arrival
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds the job waited before workers were allocated."""
+        return self.start - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        """Seconds from admission to completion."""
+        return self.finish - self.start
+
+    def to_dict(self) -> dict:
+        """Plain-python dict for JSON caching."""
+        return {
+            "job_id": self.job_id,
+            "setup_index": self.setup_index,
+            "sync_policy": self.sync_policy,
+            "percent": self.percent,
+            "demand": self.demand,
+            "arrival": self.arrival,
+            "start": self.start,
+            "finish": self.finish,
+            "preemptions": self.preemptions,
+            "restores": self.restores,
+            "accuracy": self.accuracy,
+            "diverged": self.diverged,
+            "completed_steps": self.completed_steps,
+            "images": self.images,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Aggregate outcome of one fleet scenario run."""
+
+    scenario: str
+    scheduler: str
+    sync_policy: str
+    seed: int
+    scale: float
+    pool_size: int
+    n_jobs: int
+    jobs: tuple[JobRecord, ...]
+    makespan: float
+    mean_jct: float
+    p95_jct: float
+    max_jct: float
+    mean_queue_delay: float
+    max_queue_delay: float
+    utilization: float
+    images_per_second: float
+    preemptions: int
+    restores: int
+    diverged_jobs: int
+    mean_accuracy: float | None
+
+    def to_dict(self) -> dict:
+        """Plain-python dict for JSON caching and the results artifact."""
+        return {
+            "scenario": self.scenario,
+            "scheduler": self.scheduler,
+            "sync_policy": self.sync_policy,
+            "seed": self.seed,
+            "scale": self.scale,
+            "pool_size": self.pool_size,
+            "n_jobs": self.n_jobs,
+            "jobs": [record.to_dict() for record in self.jobs],
+            "makespan": self.makespan,
+            "mean_jct": self.mean_jct,
+            "p95_jct": self.p95_jct,
+            "max_jct": self.max_jct,
+            "mean_queue_delay": self.mean_queue_delay,
+            "max_queue_delay": self.max_queue_delay,
+            "utilization": self.utilization,
+            "images_per_second": self.images_per_second,
+            "preemptions": self.preemptions,
+            "restores": self.restores,
+            "diverged_jobs": self.diverged_jobs,
+            "mean_accuracy": self.mean_accuracy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSummary":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        payload["jobs"] = tuple(
+            JobRecord.from_dict(record) for record in payload["jobs"]
+        )
+        return cls(**payload)
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample."""
+    ordered = sorted(values)
+    rank = max(math.ceil(fraction * len(ordered)) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def summarize_fleet(
+    scenario: str,
+    scheduler: str,
+    sync_policy: str,
+    seed: int,
+    scale: float,
+    pool_size: int,
+    records: list[JobRecord],
+    busy_worker_seconds: float,
+) -> FleetSummary:
+    """Fold per-job records into one :class:`FleetSummary`."""
+    ordered = tuple(sorted(records, key=lambda record: record.job_id))
+    jcts = [record.jct for record in ordered]
+    delays = [record.queue_delay for record in ordered]
+    makespan = max((record.finish for record in ordered), default=0.0)
+    capacity = pool_size * makespan
+    images = sum(record.images for record in ordered)
+    accuracies = [
+        record.accuracy
+        for record in ordered
+        if record.accuracy is not None and not record.diverged
+    ]
+    return FleetSummary(
+        scenario=scenario,
+        scheduler=scheduler,
+        sync_policy=sync_policy,
+        seed=seed,
+        scale=scale,
+        pool_size=pool_size,
+        n_jobs=len(ordered),
+        jobs=ordered,
+        makespan=makespan,
+        mean_jct=sum(jcts) / len(jcts) if jcts else 0.0,
+        p95_jct=_percentile(jcts, 0.95) if jcts else 0.0,
+        max_jct=max(jcts) if jcts else 0.0,
+        mean_queue_delay=sum(delays) / len(delays) if delays else 0.0,
+        max_queue_delay=max(delays) if delays else 0.0,
+        utilization=busy_worker_seconds / capacity if capacity > 0 else 0.0,
+        images_per_second=images / makespan if makespan > 0 else 0.0,
+        preemptions=sum(record.preemptions for record in ordered),
+        restores=sum(record.restores for record in ordered),
+        diverged_jobs=sum(1 for record in ordered if record.diverged),
+        mean_accuracy=(
+            sum(accuracies) / len(accuracies) if accuracies else None
+        ),
+    )

@@ -1,0 +1,144 @@
+"""Pluggable fleet scheduling policies.
+
+A scheduler decides, at every fleet event, which queued jobs to admit
+onto the free workers — and, for the preemptive policy, how many
+workers to reclaim from running ASP-phase jobs when the queue is
+starved.  Three classic policies are provided:
+
+* ``fifo`` — strict arrival order with head-of-line blocking: nothing
+  behind a job that does not fit is admitted.
+* ``sjf`` — smallest-job-first by estimated service time; short jobs
+  overtake long ones, shrinking mean JCT under contention.
+* ``best-fit`` — bin-packing: repeatedly admit the queued job that
+  fills the free capacity most tightly; when nothing fits it asks the
+  simulator to preempt workers from ASP-phase jobs (BSP phases are
+  barrier-synchronized and are never shrunk).
+
+Schedulers are deterministic: ties break on arrival order then job id.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fleet.workload import JobRequest, estimate_service_time
+
+__all__ = [
+    "SchedulerPolicy",
+    "FifoScheduler",
+    "SmallestJobFirstScheduler",
+    "BestFitScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+]
+
+
+class SchedulerPolicy:
+    """Base admission policy (subclasses override :meth:`admit`)."""
+
+    name = "base"
+    #: Whether the policy may ask for ASP-phase preemption.
+    preemptive = False
+
+    def admit(
+        self, queue: list[JobRequest], free_workers: int, scale: float
+    ) -> list[JobRequest]:
+        """Jobs to admit now, in admission order (subset of ``queue``)."""
+        raise NotImplementedError
+
+    def preemption_request(
+        self, queue: list[JobRequest], free_workers: int, scale: float
+    ) -> int:
+        """Workers the policy wants reclaimed from ASP-phase jobs (0 = none)."""
+        return 0
+
+
+class FifoScheduler(SchedulerPolicy):
+    """Arrival order with head-of-line blocking."""
+
+    name = "fifo"
+
+    def admit(self, queue, free_workers, scale):
+        admitted = []
+        for request in queue:
+            if request.n_workers > free_workers:
+                break
+            admitted.append(request)
+            free_workers -= request.n_workers
+        return admitted
+
+
+class SmallestJobFirstScheduler(SchedulerPolicy):
+    """Shortest estimated service time first (no blocking)."""
+
+    name = "sjf"
+
+    def admit(self, queue, free_workers, scale):
+        ordered = sorted(
+            queue,
+            key=lambda request: (
+                estimate_service_time(
+                    request.setup_index, request.percent, scale
+                ),
+                request.arrival,
+                request.job_id,
+            ),
+        )
+        admitted = []
+        for request in ordered:
+            if request.n_workers <= free_workers:
+                admitted.append(request)
+                free_workers -= request.n_workers
+        return admitted
+
+
+class BestFitScheduler(SchedulerPolicy):
+    """Tightest-fit bin-packing with ASP-phase preemption."""
+
+    name = "best-fit"
+    preemptive = True
+
+    def admit(self, queue, free_workers, scale):
+        remaining = list(queue)
+        admitted = []
+        while remaining:
+            fitting = [
+                request
+                for request in remaining
+                if request.n_workers <= free_workers
+            ]
+            if not fitting:
+                break
+            # Tightest fit; ties go to the oldest request.
+            best = min(
+                fitting,
+                key=lambda request: (
+                    free_workers - request.n_workers,
+                    request.arrival,
+                    request.job_id,
+                ),
+            )
+            admitted.append(best)
+            free_workers -= best.n_workers
+            remaining.remove(best)
+        return admitted
+
+    def preemption_request(self, queue, free_workers, scale):
+        if not queue:
+            return 0
+        head = min(queue, key=lambda request: (request.arrival, request.job_id))
+        return max(head.n_workers - free_workers, 0)
+
+
+SCHEDULERS: dict[str, type[SchedulerPolicy]] = {
+    policy.name: policy
+    for policy in (FifoScheduler, SmallestJobFirstScheduler, BestFitScheduler)
+}
+
+
+def make_scheduler(name: str) -> SchedulerPolicy:
+    """Instantiate a scheduler by registry name."""
+    if name not in SCHEDULERS:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}"
+        )
+    return SCHEDULERS[name]()

@@ -1,0 +1,283 @@
+"""Fleet workloads: job arrival streams, traces and named scenarios.
+
+The paper's cost-amortization argument (Section VI-C) is about
+*recurring jobs on shared clusters*: the same training workloads keep
+arriving and the cluster serves them concurrently.  This module
+describes that traffic:
+
+* :class:`JobRequest` — one training job in the stream (arrival time,
+  workload setup, worker demand, synchronization policy);
+* :func:`poisson_stream` — Poisson arrivals over a scenario's workload
+  mix (deterministic given a seed);
+* :func:`load_trace` / :func:`save_trace` — synthetic trace files so
+  fleet experiments can be replayed exactly;
+* :data:`FLEET_SCENARIOS` — named contention scenarios (pool size,
+  stream length and offered load) used by the CLI, the experiment
+  driver and the benchmark.
+
+Arrival rates are expressed relative to the *estimated Sync-Switch
+service time* of the scenario's first workload, so a scenario keeps the
+same contention level at any ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.distsim.timing import timing_for
+from repro.errors import ConfigurationError
+from repro.experiments.setups import SETUPS, scaled_job
+from repro.rng import child_rng
+
+__all__ = [
+    "SYNC_POLICIES",
+    "JobRequest",
+    "FleetScenario",
+    "FLEET_SCENARIOS",
+    "resolve_percent",
+    "estimate_service_time",
+    "poisson_stream",
+    "load_trace",
+    "save_trace",
+]
+
+#: Fleet-level synchronization policies: every job in a stream trains
+#: under one of these (the fleet artifact compares all three).
+SYNC_POLICIES = ("bsp", "asp", "sync-switch")
+
+
+def resolve_percent(setup_index: int, sync_policy: str) -> float:
+    """BSP percentage implied by ``sync_policy`` for one setup.
+
+    ``bsp`` trains 100% BSP, ``asp`` 0%, and ``sync-switch`` uses the
+    setup's Table-I switch point.
+    """
+    if setup_index not in SETUPS:
+        raise ConfigurationError(f"unknown setup index {setup_index}")
+    if sync_policy == "bsp":
+        return 100.0
+    if sync_policy == "asp":
+        return 0.0
+    if sync_policy == "sync-switch":
+        return SETUPS[setup_index].policy_percent
+    raise ConfigurationError(
+        f"unknown sync policy {sync_policy!r}; known: {SYNC_POLICIES}"
+    )
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One training job arriving at the fleet."""
+
+    job_id: int
+    arrival: float
+    setup_index: int = 1
+    n_workers: int = 8
+    sync_policy: str = "sync-switch"
+
+    def __post_init__(self):
+        if self.job_id < 0:
+            raise ConfigurationError("job_id must be non-negative")
+        if self.arrival < 0:
+            raise ConfigurationError("arrival must be non-negative")
+        if self.setup_index not in SETUPS:
+            raise ConfigurationError(f"unknown setup index {self.setup_index}")
+        if self.n_workers <= 0:
+            raise ConfigurationError("n_workers must be positive")
+        if self.sync_policy not in SYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown sync policy {self.sync_policy!r}"
+            )
+
+    @property
+    def percent(self) -> float:
+        """Resolved BSP percentage for this job's policy."""
+        return resolve_percent(self.setup_index, self.sync_policy)
+
+    def to_dict(self) -> dict:
+        """Plain-python dict for trace files and cache keys."""
+        return {
+            "job_id": self.job_id,
+            "arrival": self.arrival,
+            "setup_index": self.setup_index,
+            "n_workers": self.n_workers,
+            "sync_policy": self.sync_policy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRequest":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A named contention scenario for the fleet simulator.
+
+    ``interarrival_factor`` scales the mean inter-arrival gap relative
+    to the estimated Sync-Switch service time of ``setup_mix[0]``:
+    below ~``demand / pool_size`` the cluster queues, above it the
+    stream is mostly uncontended.
+    """
+
+    name: str
+    description: str
+    pool_size: int
+    n_jobs: int
+    interarrival_factor: float
+    setup_mix: tuple[int, ...] = (1,)
+
+    def __post_init__(self):
+        if self.pool_size <= 0 or self.n_jobs <= 0:
+            raise ConfigurationError("pool_size and n_jobs must be positive")
+        if self.interarrival_factor < 0:
+            raise ConfigurationError("interarrival_factor must be >= 0")
+        for index in self.setup_mix:
+            if index not in SETUPS:
+                raise ConfigurationError(f"unknown setup index {index}")
+            if SETUPS[index].n_workers > self.pool_size:
+                raise ConfigurationError(
+                    f"setup {index} demands {SETUPS[index].n_workers} workers "
+                    f"but the pool only has {self.pool_size}"
+                )
+
+
+FLEET_SCENARIOS: dict[str, FleetScenario] = {
+    "light": FleetScenario(
+        name="light",
+        description="spacious pool, slow arrivals: little to no queueing",
+        pool_size=24,
+        n_jobs=4,
+        interarrival_factor=1.5,
+    ),
+    "rush": FleetScenario(
+        name="rush",
+        description="two job slots, arrivals faster than service: queueing",
+        pool_size=16,
+        n_jobs=6,
+        interarrival_factor=0.3,
+    ),
+    "surge": FleetScenario(
+        name="surge",
+        description="single job slot, near-simultaneous arrivals",
+        pool_size=8,
+        n_jobs=5,
+        interarrival_factor=0.05,
+    ),
+    "mixed": FleetScenario(
+        name="mixed",
+        description="ResNet32 and ResNet50 jobs sharing a mid-size pool",
+        pool_size=24,
+        n_jobs=8,
+        interarrival_factor=0.5,
+        setup_mix=(1, 2),
+    ),
+    "heavy": FleetScenario(
+        name="heavy",
+        description="8- and 16-worker jobs mixed: elasticity and preemption",
+        pool_size=24,
+        n_jobs=6,
+        interarrival_factor=0.25,
+        setup_mix=(1, 1, 3),
+    ),
+}
+
+
+def estimate_service_time(
+    setup_index: int, percent: float, scale: float
+) -> float:
+    """Rough simulated duration of one job (no queueing, no stragglers).
+
+    Mirrors the BSP-phase estimate the experiment runner uses: BSP
+    rounds cost the mean per-batch compute plus the barrier, ASP steps
+    drain at roughly ``compute / n_workers`` per update.
+    """
+    setup = SETUPS[setup_index]
+    job = scaled_job(setup, scale, 0)
+    timing = timing_for(setup.model)
+    n = setup.n_workers
+    bsp_steps = percent / 100.0 * job.total_steps
+    asp_steps = job.total_steps - bsp_steps
+    bsp_round = timing.mean_compute_time(job.batch_size) * 1.3 + (
+        timing.sync_overhead(n)
+    )
+    asp_step = max(timing.ps_apply, timing.mean_compute_time(job.batch_size) / n)
+    return bsp_steps / n * bsp_round * 1.25 + asp_steps * asp_step * 1.15
+
+
+def poisson_stream(
+    scenario: FleetScenario,
+    scale: float,
+    seed: int,
+    n_jobs: int | None = None,
+    sync_policy: str = "sync-switch",
+) -> tuple[JobRequest, ...]:
+    """Deterministic Poisson arrival stream for one scenario.
+
+    The first job arrives at t=0; subsequent gaps are exponential with
+    mean ``interarrival_factor x estimated Sync-Switch service time``.
+    Workload setups cycle round-robin through ``scenario.setup_mix``.
+    """
+    count = n_jobs if n_jobs is not None else scenario.n_jobs
+    if count <= 0:
+        raise ConfigurationError("n_jobs must be positive")
+    if sync_policy not in SYNC_POLICIES:
+        raise ConfigurationError(f"unknown sync policy {sync_policy!r}")
+    mean_gap = scenario.interarrival_factor * estimate_service_time(
+        scenario.setup_mix[0],
+        resolve_percent(scenario.setup_mix[0], "sync-switch"),
+        scale,
+    )
+    rng = child_rng(seed, f"fleet/{scenario.name}/arrivals")
+    requests = []
+    arrival = 0.0
+    for job_id in range(count):
+        setup_index = scenario.setup_mix[job_id % len(scenario.setup_mix)]
+        requests.append(
+            JobRequest(
+                job_id=job_id,
+                arrival=arrival,
+                setup_index=setup_index,
+                n_workers=SETUPS[setup_index].n_workers,
+                sync_policy=sync_policy,
+            )
+        )
+        arrival += float(rng.exponential(mean_gap)) if mean_gap > 0 else 0.0
+    return tuple(requests)
+
+
+def save_trace(path: str | Path, requests: tuple[JobRequest, ...]) -> None:
+    """Write an arrival stream as a JSON trace file."""
+    payload = {"jobs": [request.to_dict() for request in requests]}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_trace(path: str | Path) -> tuple[JobRequest, ...]:
+    """Load a JSON trace file written by :func:`save_trace`.
+
+    Jobs are sorted by arrival time (ties by job id) so hand-written
+    traces need not be pre-sorted.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read trace {path}: {exc}") from exc
+    raw_jobs = payload.get("jobs")
+    if not isinstance(raw_jobs, list) or not raw_jobs:
+        raise ConfigurationError(f"trace {path} has no jobs")
+    try:
+        requests = [JobRequest.from_dict(entry) for entry in raw_jobs]
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"trace {path} has a malformed job entry: {exc}"
+        ) from exc
+    ids = [request.job_id for request in requests]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError(f"trace {path} has duplicate job ids")
+    return tuple(
+        sorted(requests, key=lambda request: (request.arrival, request.job_id))
+    )

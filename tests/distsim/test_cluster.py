@@ -71,3 +71,53 @@ def test_restore_non_evicted_rejected():
     cluster = Cluster(ClusterSpec(n_workers=4))
     with pytest.raises(ClusterError):
         cluster.restore(0)
+
+
+def test_repeated_evict_restore_cycles():
+    """Membership invariants hold across many evict/restore rounds."""
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    for _ in range(5):
+        cluster.evict(2)
+        assert not cluster.is_active(2)
+        assert cluster.n_active == 3
+        cluster.restore(2)
+        assert cluster.is_active(2)
+        assert cluster.active_workers == (0, 1, 2, 3)
+
+
+def test_double_restore_rejected():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    cluster.evict(1)
+    cluster.restore(1)
+    with pytest.raises(ClusterError):
+        cluster.restore(1)
+
+
+def test_restore_all_is_idempotent():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    cluster.evict(0)
+    cluster.restore_all()
+    cluster.restore_all()  # no-op on a full cluster
+    assert cluster.n_active == 4
+    with pytest.raises(ClusterError):
+        cluster.restore(0)  # already restored by restore_all
+
+
+def test_evict_down_to_floor_then_rebuild():
+    cluster = Cluster(ClusterSpec(n_workers=4))
+    for worker in (0, 1, 2):
+        cluster.evict(worker)
+    assert cluster.active_workers == (3,)
+    with pytest.raises(ClusterError):
+        cluster.evict(3)  # never below one active worker
+    for worker in (2, 0, 1):
+        cluster.restore(worker)
+    assert cluster.active_workers == (0, 1, 2, 3)
+    cluster.evict(3)  # re-evictable after a full rebuild
+    assert cluster.active_workers == (0, 1, 2)
+
+
+def test_is_active_out_of_range():
+    cluster = Cluster(ClusterSpec(n_workers=2))
+    assert not cluster.is_active(5)
+    assert not cluster.is_active(-1)

@@ -87,6 +87,58 @@ class TestStragglerSchedule:
         assert schedule.next_clear_time(5.0) == pytest.approx(18.0)  # chained
         assert schedule.next_clear_time(20.0) is None
 
+    def test_next_clear_time_event_starting_exactly_at_horizon(self):
+        """Zero-overlap adjacency: starts are inclusive, so an event
+        beginning exactly when the previous one ends keeps chaining."""
+        schedule = StragglerSchedule(
+            [
+                StragglerEvent(worker=0, start=0.0, duration=10.0, slow_factor=2.0),
+                StragglerEvent(worker=1, start=10.0, duration=8.0, slow_factor=2.0),
+            ]
+        )
+        # At t=10 the second event is already active (start <= t < end).
+        assert schedule.is_straggling(1, 10.0)
+        assert schedule.next_clear_time(5.0) == pytest.approx(18.0)
+
+    def test_next_clear_time_multi_link_adjacent_chain(self):
+        schedule = StragglerSchedule(
+            [
+                StragglerEvent(worker=0, start=0.0, duration=5.0, slow_factor=2.0),
+                StragglerEvent(worker=1, start=5.0, duration=5.0, slow_factor=2.0),
+                StragglerEvent(worker=2, start=10.0, duration=5.0, slow_factor=2.0),
+            ]
+        )
+        assert schedule.next_clear_time(0.0) == pytest.approx(15.0)
+        # Queried exactly at the final end, the cluster is clear.
+        assert schedule.next_clear_time(15.0) is None
+
+    def test_next_clear_time_at_event_boundaries(self):
+        schedule = StragglerSchedule(
+            [StragglerEvent(worker=0, start=5.0, duration=5.0, slow_factor=2.0)]
+        )
+        assert schedule.next_clear_time(4.9) is None  # not yet active
+        assert schedule.next_clear_time(5.0) == pytest.approx(10.0)  # inclusive
+        assert schedule.next_clear_time(10.0) is None  # end exclusive
+
+    def test_events_for(self):
+        late = StragglerEvent(worker=0, start=9.0, duration=1.0, slow_factor=2.0)
+        early = StragglerEvent(worker=0, start=1.0, duration=1.0, slow_factor=2.0)
+        schedule = StragglerSchedule([late, early])
+        assert schedule.events_for(0) == (early, late)  # sorted by start
+        assert schedule.events_for(3) == ()
+
+    def test_active_workers_matches_linear_scan(self):
+        """The bisect-indexed query must agree with the brute force."""
+        rng = np.random.default_rng(42)
+        schedule = ambient_contention(6, horizon=300.0, rng=rng)
+        for time in np.linspace(0.0, 320.0, 161):
+            brute = {
+                event.worker
+                for event in schedule.events
+                if event.start <= time < event.end
+            }
+            assert schedule.active_workers(float(time)) == brute
+
     def test_merged_with(self):
         a = StragglerSchedule(
             [StragglerEvent(worker=0, start=0.0, duration=1.0, slow_factor=2.0)]

@@ -20,6 +20,7 @@ def test_artifact_registry_covers_every_paper_artifact():
         "fig2", "fig4a", "fig4b", "fig5a", "fig5b", "fig8a", "fig8b",
         "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
         "tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
+        "fleet",  # beyond the paper: the multi-tenant scenario grid
     }
     assert set(ARTIFACTS) == expected
 

@@ -1,0 +1,133 @@
+"""Tests for the fleet scenario driver and its executor integration."""
+
+import json
+
+import pytest
+
+import repro.experiments.fleet as fleet_module
+from repro.experiments import ARTIFACTS, ExperimentRunner, prefetch_union
+from repro.experiments.fleet import (
+    FleetRunRequest,
+    fleet_grid,
+    fleet_report,
+    write_fleet_summary,
+)
+from repro.fleet import FleetSummary
+
+SCALE = 0.008
+
+
+@pytest.fixture(scope="module")
+def tiny_grid(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("fleet-cache")
+    grid = fleet_grid(
+        scenario="rush",
+        schedulers=("fifo",),
+        policies=("sync-switch", "bsp"),
+        seed=0,
+        scale=SCALE,
+        n_jobs=2,
+        cache_dir=cache,
+    )
+    return grid, cache
+
+
+class TestFleetRunRequest:
+    def test_key_stable_and_distinct(self):
+        base = FleetRunRequest("rush", "fifo", "sync-switch", seed=0)
+        assert base.key(SCALE) == FleetRunRequest(
+            "rush", "fifo", "sync-switch", seed=0
+        ).key(SCALE)
+        variants = {
+            base.key(SCALE),
+            FleetRunRequest("rush", "sjf", "sync-switch", 0).key(SCALE),
+            FleetRunRequest("rush", "fifo", "bsp", 0).key(SCALE),
+            FleetRunRequest("rush", "fifo", "sync-switch", 1).key(SCALE),
+            base.key(0.01),
+        }
+        assert len(variants) == 5
+
+    def test_key_differs_from_training_cells(self):
+        # Fleet cells share the cache directory with training cells;
+        # the "fleet" kind marker keeps the namespaces apart.
+        from repro.experiments.executor import cache_key
+        from repro.experiments.setups import SETUPS
+
+        fleet_key = FleetRunRequest("rush", "fifo", "bsp", 0).key(SCALE)
+        training = cache_key(
+            SETUPS[1], {"kind": "switch", "percent": 100.0}, 0, SCALE
+        )
+        assert fleet_key != training
+
+
+class TestFleetGrid:
+    def test_grid_covers_all_cells(self, tiny_grid):
+        grid, _ = tiny_grid
+        assert set(grid) == {("fifo", "sync-switch"), ("fifo", "bsp")}
+        for summary in grid.values():
+            assert isinstance(summary, FleetSummary)
+            assert summary.n_jobs == 2
+
+    def test_cached_cells_never_resimulated(self, tiny_grid, monkeypatch):
+        grid, cache = tiny_grid
+
+        def explode(config):
+            raise AssertionError("cache miss: fleet cell resimulated")
+
+        monkeypatch.setattr(fleet_module, "simulate_fleet", explode)
+        again = fleet_grid(
+            scenario="rush",
+            schedulers=("fifo",),
+            policies=("sync-switch", "bsp"),
+            seed=0,
+            scale=SCALE,
+            n_jobs=2,
+            cache_dir=cache,
+        )
+        assert {
+            key: summary.to_dict() for key, summary in again.items()
+        } == {key: summary.to_dict() for key, summary in grid.items()}
+
+    def test_cache_entries_are_valid_json(self, tiny_grid):
+        _, cache = tiny_grid
+        entries = sorted(cache.glob("*.json"))
+        assert len(entries) == 2
+        for path in entries:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            assert FleetSummary.from_dict(data).scenario == "rush"
+        assert not list(cache.glob("*.tmp"))
+
+
+class TestFleetReportAndArtifact:
+    def test_report_rows(self, tiny_grid):
+        grid, _ = tiny_grid
+        report = fleet_report(grid, "rush")
+        assert len(report.rows) == 2
+        assert "mean_jct_s" in report.columns
+        schedulers = {row["scheduler"] for row in report.rows}
+        assert schedulers == {"fifo"}
+
+    def test_write_summary_artifact(self, tiny_grid, tmp_path):
+        grid, _ = tiny_grid
+        target = write_fleet_summary(
+            grid, "rush", SCALE, 0, path=tmp_path / "fleet_summary.json"
+        )
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["scenario"] == "rush"
+        assert len(payload["cells"]) == 2
+        assert {cell["sync_policy"] for cell in payload["cells"]} == {
+            "bsp",
+            "sync-switch",
+        }
+
+    def test_artifact_registered(self):
+        assert "fleet" in ARTIFACTS
+
+    def test_artifact_skipped_by_union_prefetch(self, tmp_path):
+        # The fleet artifact is not expressible as training cells, so a
+        # cross-artifact union prefetch must not simulate anything.
+        runner = ExperimentRunner(
+            scale=SCALE, seeds=1, cache_dir=tmp_path, jobs=1
+        )
+        assert prefetch_union(runner, [ARTIFACTS["fleet"]]) == 0
+        assert list(tmp_path.glob("*.json")) == []

@@ -1,8 +1,9 @@
-"""Tests for report rendering and aggregation helpers."""
+"""Tests for report rendering, aggregation and cross-artifact batching."""
 
 import pytest
 
 from repro.distsim.telemetry import TrainingResult
+from repro.experiments import ExperimentRunner
 from repro.experiments.aggregate import (
     accuracy_stats,
     divergence_rate,
@@ -11,7 +12,14 @@ from repro.experiments.aggregate import (
     std,
     time_stats,
 )
-from repro.experiments.reporting import Report, render_report
+from repro.experiments.figures import figure_2, figure_5b
+from repro.experiments.reporting import (
+    Report,
+    collect_artifact_cells,
+    prefetch_union,
+    render_report,
+)
+from repro.experiments.runner import CollectionComplete
 
 
 def result(accuracy=0.85, diverged=False, total_time=100.0) -> TrainingResult:
@@ -109,3 +117,48 @@ class TestRenderReport:
             rows=[{"col": 1}, {"col": 2}],
         )
         assert report.column_values("col") == [1, 2]
+
+
+class TestCrossArtifactScheduling:
+    SCALE = 0.008
+
+    def runner(self, tmp_path) -> ExperimentRunner:
+        return ExperimentRunner(
+            scale=self.SCALE, seeds=1, cache_dir=tmp_path, jobs=1
+        )
+
+    def test_collect_only_records_without_executing(self, tmp_path):
+        runner = self.runner(tmp_path)
+        with runner.collect_only() as grid:
+            assert runner.is_collecting
+            runner.prefetch(
+                [(None, None)][:0]  # empty prefetch records nothing
+            )
+            with pytest.raises(CollectionComplete):
+                runner.run_batch([])
+        assert grid == []
+        assert not runner.is_collecting
+        assert list(tmp_path.glob("*.json")) == []  # nothing trained
+
+    def test_collect_artifact_cells_matches_grid(self, tmp_path):
+        runner = self.runner(tmp_path)
+        cells = collect_artifact_cells(runner, figure_2)
+        # Fig. 2: four configurations x one seed, none executed.
+        assert len(cells) == 4
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_prefetch_union_deduplicates_across_artifacts(self, tmp_path):
+        runner = self.runner(tmp_path)
+        # fig2 uses {0, 25, 50, 100}%; fig5b sweeps 7 percents
+        # including those four: the union is exactly the sweep.
+        unique = prefetch_union(runner, [figure_2, figure_5b])
+        assert unique == 7
+        assert len(list(tmp_path.glob("*.json"))) == 7
+
+    def test_rendering_after_union_prefetch_adds_no_cells(self, tmp_path):
+        runner = self.runner(tmp_path)
+        prefetch_union(runner, [figure_2])
+        cached = set(tmp_path.glob("*.json"))
+        report = figure_2(runner)
+        assert len(report.rows) == 4
+        assert set(tmp_path.glob("*.json")) == cached

@@ -1,0 +1,88 @@
+"""Tests for the fleet scheduling policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.scheduler import (
+    SCHEDULERS,
+    BestFitScheduler,
+    FifoScheduler,
+    SmallestJobFirstScheduler,
+    make_scheduler,
+)
+from repro.fleet.workload import JobRequest
+
+SCALE = 0.008
+
+
+def job(job_id, arrival=0.0, workers=8, policy="sync-switch"):
+    return JobRequest(
+        job_id=job_id,
+        arrival=arrival,
+        setup_index=1,
+        n_workers=workers,
+        sync_policy=policy,
+    )
+
+
+class TestRegistry:
+    def test_known_schedulers(self):
+        assert set(SCHEDULERS) == {"fifo", "sjf", "best-fit"}
+        for name in SCHEDULERS:
+            assert make_scheduler(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("round-robin")
+
+
+class TestFifo:
+    def test_admits_in_arrival_order(self):
+        queue = [job(0, 0.0, 4), job(1, 1.0, 4), job(2, 2.0, 4)]
+        admitted = FifoScheduler().admit(queue, 8, SCALE)
+        assert [request.job_id for request in admitted] == [0, 1]
+
+    def test_head_of_line_blocking(self):
+        # The head does not fit, so nothing behind it runs either.
+        queue = [job(0, 0.0, 8), job(1, 1.0, 2)]
+        assert FifoScheduler().admit(queue, 4, SCALE) == []
+
+
+class TestSmallestJobFirst:
+    def test_shorter_job_overtakes(self):
+        # ASP jobs have a far shorter estimated service time than BSP.
+        queue = [job(0, 0.0, 8, "bsp"), job(1, 1.0, 8, "asp")]
+        admitted = SmallestJobFirstScheduler().admit(queue, 8, SCALE)
+        assert [request.job_id for request in admitted] == [1]
+
+    def test_equal_estimates_tie_on_arrival(self):
+        queue = [job(1, 1.0, 4), job(0, 0.0, 4)]
+        admitted = SmallestJobFirstScheduler().admit(queue, 8, SCALE)
+        assert [request.job_id for request in admitted] == [0, 1]
+
+
+class TestBestFit:
+    def test_prefers_tightest_fit(self):
+        queue = [job(0, 0.0, 4), job(1, 1.0, 10)]
+        admitted = BestFitScheduler().admit(queue, 10, SCALE)
+        assert [request.job_id for request in admitted] == [1]
+
+    def test_packs_repeatedly(self):
+        queue = [job(0, 0.0, 4), job(1, 1.0, 6), job(2, 2.0, 4)]
+        admitted = BestFitScheduler().admit(queue, 10, SCALE)
+        assert [request.job_id for request in admitted] == [1, 0]
+
+    def test_preemption_request_for_oldest(self):
+        scheduler = BestFitScheduler()
+        assert scheduler.preemptive
+        queue = [job(1, 2.0, 8), job(0, 1.0, 16)]
+        assert scheduler.preemption_request(queue, 4, SCALE) == 12
+
+    def test_no_preemption_when_satisfied_or_empty(self):
+        scheduler = BestFitScheduler()
+        assert scheduler.preemption_request([], 4, SCALE) == 0
+        assert scheduler.preemption_request([job(0, 0.0, 4)], 8, SCALE) == 0
+
+    def test_non_preemptive_policies(self):
+        assert not FifoScheduler().preemptive
+        assert FifoScheduler().preemption_request([job(0)], 0, SCALE) == 0

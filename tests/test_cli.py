@@ -11,9 +11,35 @@ def test_parser_subcommands():
     assert args.command == "run"
     assert args.percent == 6.25
     args = parser.parse_args(["report", "tab3"])
-    assert args.artifact == "tab3"
+    assert args.artifact == ["tab3"]
     args = parser.parse_args(["search", "--setup", "2"])
     assert args.setup == 2
+
+
+def test_parser_report_multiple_artifacts():
+    parser = build_parser()
+    args = parser.parse_args(["report", "fig2", "fig5b"])
+    assert args.artifact == ["fig2", "fig5b"]
+    assert parser.parse_args(["report", "all"]).artifact == ["all"]
+
+
+def test_parser_fleet_subcommand():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["fleet", "--scenario", "rush", "--jobs", "4", "--scheduler", "fifo",
+         "--policy", "sync-switch", "--seed", "3", "--procs", "2"]
+    )
+    assert args.command == "fleet"
+    assert args.scenario == "rush"
+    assert args.jobs == 4  # number of training jobs in the stream
+    assert args.scheduler == "fifo"
+    assert args.policy == "sync-switch"
+    assert args.procs == 2
+    defaults = parser.parse_args(["fleet"])
+    assert defaults.scheduler == "all"
+    assert defaults.policy == "all"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fleet", "--scenario", "nope"])
 
 
 def test_parser_jobs_option():
@@ -71,3 +97,27 @@ def test_report_command_tab3(capsys, tmp_path, monkeypatch):
     assert main(["report", "tab3", "--scale", "0.008", "--seeds", "1"]) == 0
     out = capsys.readouterr().out
     assert "Table III" in out
+
+
+def test_report_command_multiple_prefetches_union(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["report", "fig2", "fig5b", "--scale", "0.008",
+                 "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    # fig2's grid {0, 25, 50, 100} is a subset of fig5b's sweep: the
+    # union batch is the 7-percent sweep, deduplicated.
+    assert "prefetched 7 unique cells across 2 artifacts" in out
+    assert "Figure 2" in out
+    assert "Figure 5(b)" in out
+
+
+def test_fleet_command_tiny(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out_path = tmp_path / "fleet_summary.json"
+    assert main(["fleet", "--scenario", "surge", "--jobs", "2",
+                 "--scheduler", "fifo", "--policy", "sync-switch",
+                 "--scale", "0.008", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet (surge)" in out
+    assert "mean_jct_s" in out
+    assert out_path.exists()
