@@ -1,0 +1,73 @@
+"""Fleet tuning throughput: wall-clock cost of the fleet-search grid.
+
+Cold-cache by design (like ``bench_fleet_throughput``): the benchmarked
+call runs the full amortized-search comparison — the default
+fleet-search scenarios, all-BSP vs tuned Sync-Switch, multi-seed — in
+a fresh temporary cache, so the number tracks the cost of tuning a
+recurring stream end to end (search trials included).  The simulated
+economics (tuned speedup, search cost, break-even recurrences) land in
+``extra_info`` and refresh ``results/fleet_tuning_summary.json``, the
+artifact the acceptance criteria pin.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.experiments.fleet import (
+    DEFAULT_FLEET_SCALE,
+    DEFAULT_TUNING_SCENARIOS,
+    DEFAULT_TUNING_SEEDS,
+    tuning_grid,
+    tuning_summary_payload,
+    write_tuning_summary,
+)
+
+# benchmarks/ is not an importable package, so mirror conftest's path.
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+def _run_grid(jobs):
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-tuning-") as cache:
+        return tuning_grid(
+            scenarios=DEFAULT_TUNING_SCENARIOS,
+            seeds=DEFAULT_TUNING_SEEDS,
+            scale=DEFAULT_FLEET_SCALE,
+            jobs=jobs,
+            cache_dir=cache,
+        )
+
+
+def bench_fleet_tuning(benchmark, jobs):
+    grid = benchmark.pedantic(
+        _run_grid, args=(jobs,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    payload = tuning_summary_payload(
+        grid,
+        DEFAULT_TUNING_SCENARIOS,
+        DEFAULT_TUNING_SEEDS,
+        DEFAULT_FLEET_SCALE,
+        "fifo",
+    )
+    info = {
+        "scenarios": list(DEFAULT_TUNING_SCENARIOS),
+        "seeds": DEFAULT_TUNING_SEEDS,
+        "scale": DEFAULT_FLEET_SCALE,
+        "jobs": jobs,
+    }
+    for scenario, entry in payload["scenarios"].items():
+        info[f"{scenario}_tuned_speedup_x"] = entry["tuned_speedup_x"]
+        info[f"{scenario}_tuned_beats_bsp"] = entry["tuned_beats_bsp"]
+        classes = entry["tuned"]["classes"]
+        if classes:
+            info[f"{scenario}_amortized_recurrences"] = classes[0][
+                "amortized_recurrences_mean"
+            ]
+    benchmark.extra_info.update(info)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = write_tuning_summary(
+        payload, path=RESULTS_DIR / "fleet_tuning_summary.json"
+    )
+    assert json.loads(target.read_text(encoding="utf-8"))["scenarios"]
+    for entry in payload["scenarios"].values():
+        assert entry["tuned"]["mean_jct"] > 0.0

@@ -9,8 +9,13 @@ simulator:
 * ``sync-switch report`` — regenerate paper tables/figures; several at
   once (or ``all``) prefetch the union grid as one batch.
 * ``sync-switch fleet`` — serve a multi-job stream on a shared worker
-  pool and write the fleet summary artifact.
+  pool and write the fleet summary artifact; ``--tune`` runs the
+  amortized in-fleet timing search comparison, ``--slo`` serves the
+  stream through the deadline-aware scheduler.
 * ``sync-switch list`` — show setups, artifacts and fleet scenarios.
+
+The full flag reference lives in ``docs/cli.md`` (CI checks it stays
+in sync with this parser).
 """
 
 from __future__ import annotations
@@ -28,9 +33,14 @@ from repro.experiments import (
 )
 from repro.experiments.fleet import (
     DEFAULT_FLEET_SCALE,
+    DEFAULT_TUNING_SEEDS,
     fleet_grid,
     fleet_report,
+    fleet_tuning_report,
+    tuning_grid,
+    tuning_summary_payload,
     write_fleet_summary,
+    write_tuning_summary,
 )
 from repro.experiments.setups import scaled_job
 from repro.fleet import FLEET_SCENARIOS, SCHEDULERS, SYNC_POLICIES, load_trace
@@ -120,7 +130,28 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--out",
         default=None,
-        help="fleet summary artifact path (default: results/fleet_summary.json)",
+        help="fleet summary artifact path (default: results/fleet_summary.json"
+        ", or results/fleet_tuning_summary.json with --tune)",
+    )
+    fleet.add_argument(
+        "--tune",
+        action="store_true",
+        help="amortized in-fleet timing search: compare an all-BSP stream "
+        "against a tuned sync-switch stream (multi-seed, writes the "
+        "tuning summary artifact)",
+    )
+    fleet.add_argument(
+        "--slo",
+        action="store_true",
+        help="serve the stream through the deadline/SLO-aware scheduler "
+        "(shorthand for --scheduler slo)",
+    )
+    fleet.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="seeds per cell for the --tune confidence intervals "
+        f"(default {DEFAULT_TUNING_SEEDS}; requires --tune)",
     )
 
     sub.add_parser("list", help="show setups, artifacts and fleet scenarios")
@@ -204,14 +235,6 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    schedulers = (
-        tuple(sorted(SCHEDULERS))
-        if args.scheduler == "all"
-        else (args.scheduler,)
-    )
-    policies = (
-        SYNC_POLICIES if args.policy == "all" else (args.policy,)
-    )
     if args.trace and args.jobs is not None:
         print(
             "error: --jobs sets the generated stream length and cannot be "
@@ -219,10 +242,36 @@ def _cmd_fleet(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.seeds is not None and not args.tune:
+        print(
+            "error: --seeds controls the --tune confidence intervals; "
+            "without --tune the fleet grid runs the single --seed stream",
+            file=sys.stderr,
+        )
+        return 2
+    if args.slo and args.scheduler not in ("all", "slo"):
+        print(
+            f"error: --slo selects the slo scheduler and cannot be "
+            f"combined with --scheduler {args.scheduler}",
+            file=sys.stderr,
+        )
+        return 2
     trace = load_trace(args.trace) if args.trace else None
     # A trace replaces the scenario stream entirely; label the run (and
     # its cache keys) accordingly instead of with the unused scenario.
     scenario = "trace" if trace is not None else args.scenario
+    if args.tune:
+        return _cmd_fleet_tune(args, scenario, trace)
+    schedulers = (
+        tuple(sorted(SCHEDULERS))
+        if args.scheduler == "all"
+        else (args.scheduler,)
+    )
+    if args.slo:
+        schedulers = ("slo",)
+    policies = (
+        SYNC_POLICIES if args.policy == "all" else (args.policy,)
+    )
     grid = fleet_grid(
         scenario=scenario,
         schedulers=schedulers,
@@ -238,6 +287,55 @@ def _cmd_fleet(args) -> int:
         grid, scenario, args.scale, args.seed, path=args.out
     )
     print(f"\nfleet summary written to {target}")
+    return 0
+
+
+def _cmd_fleet_tune(args, scenario: str, trace) -> int:
+    """The ``fleet --tune`` path: amortized search comparison grid.
+
+    Always compares the all-BSP baseline stream against the tuned
+    Sync-Switch stream (that pair *is* the amortization argument), so
+    ``--policy`` does not combine with it.
+    """
+    if args.policy != "all":
+        print(
+            "error: --policy cannot be combined with --tune (the tuning "
+            "grid always compares bsp vs tuned sync-switch)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seed != 0:
+        print(
+            "error: --seed cannot be combined with --tune; the tuning "
+            "grid always runs seeds 0..N-1 (choose N with --seeds)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.slo:
+        scheduler = "slo"
+    elif args.scheduler == "all":
+        scheduler = "fifo"
+    else:
+        scheduler = args.scheduler
+    seeds = args.seeds if args.seeds is not None else DEFAULT_TUNING_SEEDS
+    if seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    grid = tuning_grid(
+        scenarios=(scenario,),
+        seeds=seeds,
+        scale=args.scale,
+        scheduler=scheduler,
+        n_jobs=args.jobs,
+        trace=trace,
+        jobs=args.procs,
+    )
+    payload = tuning_summary_payload(
+        grid, (scenario,), seeds, args.scale, scheduler
+    )
+    print(render_report(fleet_tuning_report(payload)))
+    target = write_tuning_summary(payload, path=args.out)
+    print(f"\nfleet tuning summary written to {target}")
     return 0
 
 

@@ -37,7 +37,13 @@ TrialRunner = Callable[[float, int], tuple[float, float]]
 
 @dataclass(frozen=True)
 class SearchConfig:
-    """Inputs of Algorithm 1."""
+    """Inputs of Algorithm 1 (Appendix B).
+
+    ``(bsp_runs, runs_per_setting)`` corresponds to the paper's
+    ``(bn, r)`` search-setting notation; a supplied
+    ``target_accuracy`` models the *recurring* job case that skips
+    the BSP target runs entirely (Table II's ``Yes`` rows).
+    """
 
     beta: float = 0.01
     max_settings: int = 5
@@ -60,7 +66,13 @@ class SearchConfig:
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """One training session executed during the search."""
+    """One training session executed during the search.
+
+    Every session — BSP target runs and candidate runs alike — counts
+    toward the search cost of the paper's Tables II/IV-VI; ``valid``
+    marks it as *effective training* (a model within the accuracy
+    band, Section VI-C).
+    """
 
     switch_fraction: float
     run_index: int
@@ -71,7 +83,11 @@ class TrialOutcome:
 
 @dataclass
 class SearchResult:
-    """Outcome of one full search."""
+    """Outcome of one full Algorithm 1 run (Appendix B).
+
+    ``search_time`` is the quantity the paper normalizes into the
+    *search cost* column of Tables II/IV-VI.
+    """
 
     switch_fraction: float
     target_accuracy: float

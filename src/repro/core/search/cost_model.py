@@ -64,6 +64,10 @@ class SearchSetting:
 class ProfileModel:
     """Accuracy/time distributions per switch fraction, from run logs.
 
+    This is the reproduction's stand-in for the paper's recorded
+    training logs, which Section VI-C replays through 1000 simulated
+    searches per setting (Tables II/IV-VI, Fig. 16).
+
     ``samples`` maps a switch fraction in [0, 1] to a list of
     ``(accuracy, total_time)`` pairs (diverged runs: accuracy 0.0 and
     the time spent before divergence).  Queries at unmeasured fractions
@@ -150,7 +154,13 @@ class ProfileModel:
 
 @dataclass(frozen=True)
 class SearchCostReport:
-    """Aggregate outcome of the Monte-Carlo replays for one setting."""
+    """Aggregate outcome of the Monte-Carlo replays for one setting.
+
+    One row of Tables II/IV-VI: search cost (in static-BSP session
+    multiples), amortization (recurrences to break even), effective
+    training and success probability — plus the ground-truth switch
+    point the setting is judged against.
+    """
 
     setting: SearchSetting
     search_cost_x: float
@@ -171,7 +181,13 @@ class SearchCostReport:
 
 
 class SearchCostSimulator:
-    """Replays Algorithm 1 against a :class:`ProfileModel`."""
+    """Replays Algorithm 1 against a :class:`ProfileModel`.
+
+    The Monte-Carlo engine behind Tables II/IV-VI and Fig. 16
+    (Section VI-C): per search setting it simulates many noisy
+    searches and aggregates their cost/outcome statistics into a
+    :class:`SearchCostReport`.
+    """
 
     def __init__(
         self,

@@ -65,6 +65,15 @@ def fleet_artifact(runner):
     return _fleet_artifact(runner)
 
 
+def fleet_tuning_artifact(runner):
+    """The amortized fleet-search comparison (lazy import, see above)."""
+    from repro.experiments.fleet import (
+        fleet_tuning_artifact as _fleet_tuning_artifact,
+    )
+
+    return _fleet_tuning_artifact(runner)
+
+
 #: Registry used by the CLI and the benchmark suite.
 ARTIFACTS = {
     "fig2": figure_2,
@@ -88,6 +97,7 @@ ARTIFACTS = {
     "tab5": table_5,
     "tab6": table_6,
     "fleet": fleet_artifact,
+    "fleet-search": fleet_tuning_artifact,
 }
 
 __all__ = [
@@ -102,6 +112,7 @@ __all__ = [
     "default_scale",
     "default_seeds",
     "fleet_artifact",
+    "fleet_tuning_artifact",
     "prefetch_union",
     "resolve_jobs",
     "figure_2",

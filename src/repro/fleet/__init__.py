@@ -1,11 +1,15 @@
 """Multi-tenant fleet layer: streams of Sync-Switch jobs on one pool.
 
 The fleet subsystem turns the single-job reproduction into a
-serving-scale simulator: job arrival streams
-(:mod:`repro.fleet.workload`), pluggable schedulers
-(:mod:`repro.fleet.scheduler`), the discrete-event loop
-(:mod:`repro.fleet.fleet_sim`) and fleet telemetry
-(:mod:`repro.fleet.metrics`).
+serving-scale simulator of the paper's intended setting — recurring
+training jobs on a shared cluster (Section VI-C): job arrival streams
+(:mod:`repro.fleet.workload`), pluggable schedulers including
+deadline/SLO-aware admission (:mod:`repro.fleet.scheduler`), the
+discrete-event loop (:mod:`repro.fleet.fleet_sim`), the amortized
+Algorithm 1 timing search run as fleet jobs
+(:mod:`repro.fleet.tuning`) with its per-class policy cache and
+break-even ledger (:mod:`repro.fleet.policy_store`), and fleet
+telemetry (:mod:`repro.fleet.metrics`).
 """
 
 from repro.fleet.fleet_sim import (
@@ -15,16 +19,26 @@ from repro.fleet.fleet_sim import (
     simulate_fleet,
 )
 from repro.fleet.metrics import FleetSummary, JobRecord, summarize_fleet
+from repro.fleet.policy_store import (
+    ClassPolicy,
+    JobClass,
+    PolicyStore,
+    policy_from_search,
+)
 from repro.fleet.scheduler import (
     SCHEDULERS,
     BestFitScheduler,
     FifoScheduler,
+    SchedulerContext,
     SchedulerPolicy,
+    SloAwareScheduler,
     SmallestJobFirstScheduler,
     make_scheduler,
 )
+from repro.fleet.tuning import TimingSearchSession
 from repro.fleet.workload import (
     FLEET_SCENARIOS,
+    JOB_KINDS,
     SYNC_POLICIES,
     FleetScenario,
     JobRequest,
@@ -37,23 +51,31 @@ from repro.fleet.workload import (
 
 __all__ = [
     "FLEET_SCENARIOS",
+    "JOB_KINDS",
     "SCHEDULERS",
     "SYNC_POLICIES",
     "BestFitScheduler",
+    "ClassPolicy",
     "FifoScheduler",
     "FleetConfig",
     "FleetScenario",
     "FleetSimulator",
     "FleetSummary",
+    "JobClass",
     "JobRecord",
     "JobRequest",
+    "PolicyStore",
+    "SchedulerContext",
     "SchedulerPolicy",
+    "SloAwareScheduler",
     "SmallestJobFirstScheduler",
+    "TimingSearchSession",
     "WorkerPool",
     "estimate_service_time",
     "load_trace",
     "make_scheduler",
     "poisson_stream",
+    "policy_from_search",
     "resolve_percent",
     "save_trace",
     "simulate_fleet",

@@ -28,6 +28,18 @@ Co-located jobs share contention: one fleet-wide straggler schedule is
 generated over the *physical* pool, and each admitted job sees the
 slice of that schedule covering its assigned workers from its start
 time onward — two jobs overlapping on a worker observe the same burst.
+(The contention horizon is sized from the workload stream; a tuning
+search that stretches the makespan beyond it simply sees a calm tail.)
+
+Amortized tuning (``tune=True``) implements the paper's Section VI-C
+economics at fleet scale: admitting the *first* Sync-Switch job of a
+recurring class (setup x cluster shape) launches the Algorithm 1
+binary search *as fleet jobs* — each search trial queues, occupies
+workers and counts toward JCT/utilization like any other job — and
+the finished policy lands in a :class:`~repro.fleet.policy_store.
+PolicyStore`, whose cached switch timing every later recurrence of
+the class reuses while the store accrues realized savings against the
+search cost.
 
 Determinism: every stochastic choice derives from the fleet seed via
 :func:`repro.rng.child_rng`, so the same configuration always produces
@@ -41,13 +53,20 @@ from dataclasses import dataclass, field
 
 from repro.core.policies import ConfigurationPolicy, PolicyManager, TimingPolicy
 from repro.core.runtime import SyncSwitchController
+from repro.core.search.binary_search import SearchConfig
 from repro.distsim.cluster import ClusterSpec
 from repro.distsim.stragglers import StragglerEvent, StragglerSchedule, ambient_contention
 from repro.distsim.telemetry import TrainingResult
 from repro.errors import ConfigurationError, FleetError
 from repro.experiments.setups import SETUPS, scaled_job
 from repro.fleet.metrics import FleetSummary, JobRecord, summarize_fleet
-from repro.fleet.scheduler import SchedulerPolicy, make_scheduler
+from repro.fleet.policy_store import JobClass, PolicyStore, policy_from_search
+from repro.fleet.scheduler import (
+    SchedulerContext,
+    SchedulerPolicy,
+    make_scheduler,
+)
+from repro.fleet.tuning import TimingSearchSession
 from repro.fleet.workload import (
     FLEET_SCENARIOS,
     JobRequest,
@@ -65,7 +84,18 @@ _FINISH, _PHASE, _ARRIVAL = 0, 1, 2
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """One fleet simulation: scenario, scheduler, policy, seed, scale."""
+    """One fleet simulation: scenario, scheduler, policy, seed, scale.
+
+    ``tune`` enables the amortized timing search: the first admitted
+    Sync-Switch job of each recurring class launches Algorithm 1 as
+    fleet jobs (``tune_runs`` static-BSP target runs, then
+    ``tune_runs`` sessions per explored setting with acceptance band
+    ``tune_beta``, mirroring the paper's ``(recurring, bn, r)`` search
+    settings of Tables II/IV-VI).  The default band is wider than the
+    offline search's 0.01: fleet trials are single sessions trained
+    under shared-cluster contention, whose accuracy noise at the small
+    fleet scale exceeds the paper's multi-run band.
+    """
 
     scenario: str = "rush"
     scheduler: str = "fifo"
@@ -78,6 +108,9 @@ class FleetConfig:
     ambient: bool = True
     contention: bool = True
     trace: tuple[JobRequest, ...] | None = None
+    tune: bool = False
+    tune_runs: int = 1
+    tune_beta: float = 0.02
 
     def __post_init__(self):
         if self.trace is None and self.scenario not in FLEET_SCENARIOS:
@@ -93,10 +126,20 @@ class FleetConfig:
             raise ConfigurationError("preemption_floor must be >= 1")
         if not 0.0 < self.scale <= 1.0:
             raise ConfigurationError("scale must be in (0, 1]")
+        if self.tune_runs < 1:
+            raise ConfigurationError("tune_runs must be >= 1")
+        if self.tune_beta < 0:
+            raise ConfigurationError("tune_beta must be non-negative")
 
 
 class WorkerPool:
-    """Allocatable pool of physical worker ids (lowest-id-first)."""
+    """Allocatable pool of physical worker ids (lowest-id-first).
+
+    The shared cluster of the paper's recurring-job setting
+    (Section VI-C): every admitted job's workers come from here, and
+    co-location on a worker id is what makes two jobs share the same
+    contention bursts.
+    """
 
     def __init__(self, size: int):
         if size <= 0:
@@ -142,11 +185,17 @@ class _RunningJob:
         workers: tuple[int, ...],
         start: float,
         result: TrainingResult,
+        percent: float | None = None,
+        tuned: bool = False,
+        degraded: bool = False,
     ):
         self.request = request
         self.workers = workers
         self.start = start
         self.result = result
+        self.percent = percent if percent is not None else request.percent
+        self.tuned = tuned
+        self.degraded = degraded
         self.demand = request.n_workers
         self.phase = "bsp"
         self.version = 0
@@ -192,7 +241,16 @@ class _RunningJob:
 
 @dataclass
 class FleetSimulator:
-    """Discrete-event loop serving one stream of training jobs."""
+    """Discrete-event loop serving one stream of training jobs.
+
+    The fleet-scale realization of the paper's intended deployment
+    (Section VI-C: recurring jobs on a shared cluster): every admitted
+    job trains through the
+    :class:`~repro.core.runtime.controller.SyncSwitchController`, and
+    with ``tune=True`` the switch timing itself is searched in-stream
+    (Algorithm 1 trials as fleet jobs) and amortized via the
+    :class:`~repro.fleet.policy_store.PolicyStore`.
+    """
 
     config: FleetConfig
     _seq: int = field(default=0, init=False, repr=False)
@@ -238,12 +296,20 @@ class FleetSimulator:
         self.pool = WorkerPool(self.pool_size)
         self.scheduler: SchedulerPolicy = make_scheduler(config.scheduler)
         self.contention = self._fleet_contention()
+        self.store = PolicyStore()
         self._heap: list[tuple[float, int, int, object]] = []
         self._queue: list[JobRequest] = []
         self._running: dict[int, _RunningJob] = {}
         self._records: list[JobRecord] = []
         self._busy_seconds = 0.0
         self._last_time = 0.0
+        # Tuning state: in-flight Algorithm 1 sessions and the class
+        # of every injected search-trial job.
+        self._sessions: dict[JobClass, TimingSearchSession] = {}
+        self._trial_class: dict[int, JobClass] = {}
+        self._next_trial_id = max(ids, default=-1) + 1
+        # SLO state: pending degrade decisions from scheduler triage.
+        self._degraded: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -267,10 +333,11 @@ class FleetSimulator:
                 else:
                     self._complete(job, now)
             self._schedule(now)
-        if self._queue or self._running:
+        if self._queue or self._running or self._sessions:
             raise FleetError(
-                f"stream ended with {len(self._queue)} queued and "
-                f"{len(self._running)} running job(s)"
+                f"stream ended with {len(self._queue)} queued, "
+                f"{len(self._running)} running job(s) and "
+                f"{len(self._sessions)} unfinished search(es)"
             )
         return summarize_fleet(
             scenario=self.scenario_name,
@@ -281,6 +348,7 @@ class FleetSimulator:
             pool_size=self.pool_size,
             records=self._records,
             busy_worker_seconds=self._busy_seconds,
+            tuning=self.store.report() if self.config.tune else None,
         )
 
     # ------------------------------------------------------------------
@@ -298,10 +366,23 @@ class FleetSimulator:
     # scheduling
     # ------------------------------------------------------------------
     def _schedule(self, now: float) -> None:
-        """Admit, preempt and rebalance until nothing changes."""
+        """Triage, admit, preempt and rebalance until nothing changes."""
+        context = SchedulerContext(
+            now=now, scale=self.config.scale, store=self.store
+        )
+        rejected, degraded = self.scheduler.triage(
+            self._queue, self.pool.free_count, self.config.scale, context
+        )
+        for request in rejected:
+            self._queue.remove(request)
+            self._reject(request, now)
+        # Recomputed wholesale every pass: a queued job degraded while
+        # its class was un-tuned is rescued if tuning finishes first.
+        self._degraded.clear()
+        self._degraded.update(degraded)
         while True:
             admitted = self.scheduler.admit(
-                self._queue, self.pool.free_count, self.config.scale
+                self._queue, self.pool.free_count, self.config.scale, context
             )
             for request in admitted:
                 self._queue.remove(request)
@@ -310,7 +391,8 @@ class FleetSimulator:
                 continue
             if self.scheduler.preemptive and self._queue:
                 wanted = self.scheduler.preemption_request(
-                    self._queue, self.pool.free_count, self.config.scale
+                    self._queue, self.pool.free_count, self.config.scale,
+                    context,
                 )
                 if wanted > 0 and self._preempt(wanted, now) > 0:
                     continue
@@ -318,9 +400,13 @@ class FleetSimulator:
         self._rebalance(now)
 
     def _admit(self, request: JobRequest, now: float) -> None:
+        percent, tuned, degraded = self._resolve_percent(request)
         workers = self.pool.allocate(request.n_workers)
-        result = self._train(request, workers, now)
-        job = _RunningJob(request, workers, now, result)
+        result = self._train(request, workers, now, percent)
+        job = _RunningJob(
+            request, workers, now, result,
+            percent=percent, tuned=tuned, degraded=degraded,
+        )
         self._running[request.job_id] = job
         if job.asp_tail > 0.0 and job.bsp_span > 0.0:
             self._push(
@@ -329,6 +415,59 @@ class FleetSimulator:
         elif job.asp_tail > 0.0:
             job.enter_asp(now)
         self._push(job.finish_time(now), _FINISH, ("finish", request.job_id, 0))
+        if self.config.tune:
+            self._maybe_begin_search(request, now)
+
+    def _resolve_percent(self, request: JobRequest) -> tuple[float, bool, bool]:
+        """Effective BSP percentage for an admission: ``(percent, tuned,
+        degraded)``.
+
+        Sync-Switch stream jobs of a tuned class reuse the policy
+        store's searched switch point (the amortized recurrence of
+        Section VI-C); a pending SLO degrade decision overrides
+        everything with its conservative all-BSP percentage.
+        """
+        percent = request.percent
+        tuned = False
+        if (
+            request.kind == "train"
+            and request.sync_policy == "sync-switch"
+            and request.percent_override is None
+        ):
+            policy = self.store.lookup(JobClass.of(request))
+            if policy is not None:
+                percent, tuned = policy.percent, True
+        degraded = request.job_id in self._degraded
+        if degraded:
+            percent, tuned = self._degraded.pop(request.job_id), False
+        return percent, tuned, degraded
+
+    def _reject(self, request: JobRequest, now: float) -> None:
+        """Record an SLO rejection (the job never trains)."""
+        self._records.append(
+            JobRecord(
+                job_id=request.job_id,
+                setup_index=request.setup_index,
+                sync_policy=request.sync_policy,
+                percent=request.percent,
+                demand=request.n_workers,
+                arrival=request.arrival,
+                start=now,
+                finish=now,
+                preemptions=0,
+                restores=0,
+                accuracy=None,
+                diverged=False,
+                completed_steps=0,
+                images=0,
+                kind=request.kind,
+                deadline=request.deadline,
+                tuned=False,
+                degraded=False,
+                outcome="rejected",
+            )
+        )
+        self._degraded.pop(request.job_id, None)
 
     def _preempt(self, wanted: int, now: float) -> int:
         """Reclaim up to ``wanted`` workers from ASP-phase jobs.
@@ -406,7 +545,7 @@ class FleetSimulator:
                 job_id=job.request.job_id,
                 setup_index=job.request.setup_index,
                 sync_policy=job.request.sync_policy,
-                percent=job.request.percent,
+                percent=job.percent,
                 demand=job.demand,
                 arrival=job.request.arrival,
                 start=job.start,
@@ -417,23 +556,119 @@ class FleetSimulator:
                 diverged=result.diverged,
                 completed_steps=result.completed_steps,
                 images=result.images_processed,
+                kind=job.request.kind,
+                deadline=job.request.deadline,
+                tuned=job.tuned,
+                degraded=job.degraded,
+                outcome="completed",
             )
         )
+        if job.request.kind == "search-trial":
+            self._finish_trial(job, now)
+        elif job.tuned:
+            self.store.note_recurrence(JobClass.of(job.request), now - job.start)
+
+    # ------------------------------------------------------------------
+    # amortized tuning (Section VI-C at fleet scale)
+    # ------------------------------------------------------------------
+    def _maybe_begin_search(self, request: JobRequest, now: float) -> None:
+        """Launch Algorithm 1 for a class on its first admission.
+
+        Only Sync-Switch stream jobs are tunable (static BSP/ASP jobs
+        have no switch point) and each class searches exactly once.
+        """
+        if request.kind != "train" or request.sync_policy != "sync-switch":
+            return
+        if request.percent_override is not None:
+            return
+        job_class = JobClass.of(request)
+        if (
+            self.store.lookup(job_class) is not None
+            or self.store.is_searching(job_class)
+        ):
+            return
+        setup = SETUPS[request.setup_index]
+        session = TimingSearchSession(
+            SearchConfig(
+                beta=self.config.tune_beta,
+                max_settings=setup.search_max_settings,
+                runs_per_setting=self.config.tune_runs,
+                bsp_runs=self.config.tune_runs,
+            )
+        )
+        self.store.begin_search(job_class)
+        self._sessions[job_class] = session
+        self._inject_trials(job_class, session, now)
+
+    def _inject_trials(
+        self, job_class: JobClass, session: TimingSearchSession, now: float
+    ) -> None:
+        """Enqueue the session's next batch of trials as fleet jobs."""
+        for fraction in session.next_batch():
+            job_id = self._next_trial_id
+            self._next_trial_id += 1
+            trial = JobRequest(
+                job_id=job_id,
+                arrival=now,
+                setup_index=job_class.setup_index,
+                n_workers=job_class.n_workers,
+                sync_policy="sync-switch",
+                kind="search-trial",
+                percent_override=fraction * 100.0,
+            )
+            self._trial_class[job_id] = job_class
+            self._push(now, _ARRIVAL, trial)
+
+    def _finish_trial(self, job: _RunningJob, now: float) -> None:
+        """Feed one finished search trial back into its session.
+
+        The trial's *service time* (preemption stretches included) is
+        charged to the search cost, like the paper charges whole
+        sessions.  When the batch completes the session either emits
+        the next batch or, once done, publishes the found policy to
+        the store for every later recurrence to reuse.
+        """
+        job_class = self._trial_class.pop(job.request.job_id)
+        session = self._sessions[job_class]
+        result = job.result
+        accuracy = (
+            0.0 if result.diverged else (result.reported_accuracy or 0.0)
+        )
+        session.record(accuracy, now - job.start)
+        if session.awaiting:
+            return
+        if session.done:
+            del self._sessions[job_class]
+            self.store.install(
+                policy_from_search(job_class, session.result(), tuned_at=now)
+            )
+        else:
+            self._inject_trials(job_class, session, now)
 
     # ------------------------------------------------------------------
     # training and shared contention
     # ------------------------------------------------------------------
     def _train(
-        self, request: JobRequest, workers: tuple[int, ...], now: float
+        self,
+        request: JobRequest,
+        workers: tuple[int, ...],
+        now: float,
+        percent: float | None = None,
     ) -> TrainingResult:
-        """One full single-job simulation on the assigned workers."""
+        """One full single-job simulation on the assigned workers.
+
+        ``percent`` is the effective BSP percentage the admission
+        resolved (tuned / degraded); defaults to the request's own.
+        """
+        if percent is None:
+            percent = request.percent
         setup = SETUPS[request.setup_index]
         seed = child_seed(
             self.config.seed, f"fleet/job/{request.job_id}"
         ) % (2**31)
         job = scaled_job(setup, self.config.scale, seed)
         policies = PolicyManager(
-            timing=TimingPolicy(request.percent / 100.0, source="fleet"),
+            timing=TimingPolicy(percent / 100.0, source="fleet"),
             config=ConfigurationPolicy(),
         )
         controller = SyncSwitchController(
@@ -498,5 +733,10 @@ class FleetSimulator:
 
 
 def simulate_fleet(config: FleetConfig) -> FleetSummary:
-    """Run one fleet configuration end to end."""
+    """Run one fleet configuration end to end (one fleet cell).
+
+    The unit of the ``fleet``/``fleet-search`` artifacts: a whole
+    multi-job stream served on one shared pool (Section VI-C's
+    recurring-job setting), summarized into fleet telemetry.
+    """
     return FleetSimulator(config).run()

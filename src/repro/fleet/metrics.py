@@ -1,10 +1,25 @@
 """Fleet-level telemetry: per-job records and scenario summaries.
 
-A fleet run produces one :class:`JobRecord` per training job (arrival,
+A fleet run produces one :class:`JobRecord` per job (arrival,
 admission, completion, preemptions, training outcome) and one
 :class:`FleetSummary` aggregating them into the serving-scale metrics
 the multi-tenant literature reports: job completion time (JCT),
 queueing delay, makespan, worker utilization and aggregate throughput.
+This is the fleet-scale counterpart of the paper's per-job telemetry
+(Section VI reports per-session time/accuracy; here whole streams are
+summarized).
+
+Two extensions beyond plain training jobs:
+
+* **search trials** (``kind == "search-trial"``) are the Algorithm 1
+  sessions the tuning layer runs *as fleet jobs* (Section VI-C's
+  amortized search); they occupy workers and count toward JCT and
+  utilization exactly like the paper counts search sessions as real
+  training runs, and their aggregate cost is reported separately as
+  ``search_time``;
+* **SLO accounting** — jobs may carry deadlines; the summary reports
+  attainment (fraction of deadline jobs finishing in time), plus how
+  many jobs the SLO scheduler rejected or degraded to all-BSP.
 
 Both objects are JSON-serializable (``to_dict``/``from_dict``) so fleet
 cells can share the experiment harness's atomic on-disk cache.
@@ -20,7 +35,16 @@ __all__ = ["JobRecord", "FleetSummary", "summarize_fleet"]
 
 @dataclass(frozen=True)
 class JobRecord:
-    """Lifecycle of one training job inside a fleet run."""
+    """Lifecycle of one job inside a fleet run.
+
+    ``outcome`` is ``"completed"`` for jobs that trained to the end and
+    ``"rejected"`` for jobs the SLO scheduler refused (their ``start``
+    and ``finish`` both hold the rejection time and no training
+    happened).  ``percent`` is the BSP percentage the job *actually*
+    trained at — the tuned percentage when the policy store supplied
+    one (``tuned``), or 100 when the SLO scheduler degraded the job to
+    all-BSP (``degraded``).
+    """
 
     job_id: int
     setup_index: int
@@ -36,6 +60,11 @@ class JobRecord:
     diverged: bool
     completed_steps: int
     images: int
+    kind: str = "train"
+    deadline: float | None = None
+    tuned: bool = False
+    degraded: bool = False
+    outcome: str = "completed"
 
     @property
     def jct(self) -> float:
@@ -51,6 +80,13 @@ class JobRecord:
     def service_time(self) -> float:
         """Seconds from admission to completion."""
         return self.finish - self.start
+
+    @property
+    def met_deadline(self) -> bool | None:
+        """SLO outcome: None without a deadline, else finished in time."""
+        if self.deadline is None:
+            return None
+        return self.outcome == "completed" and self.finish <= self.deadline
 
     def to_dict(self) -> dict:
         """Plain-python dict for JSON caching."""
@@ -69,17 +105,31 @@ class JobRecord:
             "diverged": self.diverged,
             "completed_steps": self.completed_steps,
             "images": self.images,
+            "kind": self.kind,
+            "deadline": self.deadline,
+            "tuned": self.tuned,
+            "degraded": self.degraded,
+            "outcome": self.outcome,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobRecord":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (tolerates pre-SLO payloads)."""
         return cls(**data)
 
 
 @dataclass(frozen=True)
 class FleetSummary:
-    """Aggregate outcome of one fleet scenario run."""
+    """Aggregate outcome of one fleet scenario run.
+
+    JCT/throughput aggregates cover *completed* jobs (stream jobs and
+    search trials alike); rejected jobs are excluded from them but
+    counted in ``n_rejected`` and — like every unmet deadline — against
+    ``slo_attainment``.  ``tuning`` carries the policy store's
+    per-class amortization rows (see
+    :meth:`repro.fleet.policy_store.PolicyStore.report`) when the run
+    tuned anything.
+    """
 
     scenario: str
     scheduler: str
@@ -101,6 +151,13 @@ class FleetSummary:
     restores: int
     diverged_jobs: int
     mean_accuracy: float | None
+    n_search_jobs: int = 0
+    search_time: float = 0.0
+    n_rejected: int = 0
+    n_degraded: int = 0
+    n_deadline_jobs: int = 0
+    slo_attainment: float | None = None
+    tuning: tuple[dict, ...] | None = None
 
     def to_dict(self) -> dict:
         """Plain-python dict for JSON caching and the results artifact."""
@@ -125,15 +182,24 @@ class FleetSummary:
             "restores": self.restores,
             "diverged_jobs": self.diverged_jobs,
             "mean_accuracy": self.mean_accuracy,
+            "n_search_jobs": self.n_search_jobs,
+            "search_time": self.search_time,
+            "n_rejected": self.n_rejected,
+            "n_degraded": self.n_degraded,
+            "n_deadline_jobs": self.n_deadline_jobs,
+            "slo_attainment": self.slo_attainment,
+            "tuning": list(self.tuning) if self.tuning is not None else None,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "FleetSummary":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (tolerates pre-SLO payloads)."""
         payload = dict(data)
         payload["jobs"] = tuple(
             JobRecord.from_dict(record) for record in payload["jobs"]
         )
+        if payload.get("tuning") is not None:
+            payload["tuning"] = tuple(dict(row) for row in payload["tuning"])
         return cls(**payload)
 
 
@@ -153,19 +219,32 @@ def summarize_fleet(
     pool_size: int,
     records: list[JobRecord],
     busy_worker_seconds: float,
+    tuning: tuple[dict, ...] | None = None,
 ) -> FleetSummary:
     """Fold per-job records into one :class:`FleetSummary`."""
     ordered = tuple(sorted(records, key=lambda record: record.job_id))
-    jcts = [record.jct for record in ordered]
-    delays = [record.queue_delay for record in ordered]
-    makespan = max((record.finish for record in ordered), default=0.0)
+    completed = [
+        record for record in ordered if record.outcome == "completed"
+    ]
+    jcts = [record.jct for record in completed]
+    delays = [record.queue_delay for record in completed]
+    makespan = max((record.finish for record in completed), default=0.0)
     capacity = pool_size * makespan
-    images = sum(record.images for record in ordered)
+    images = sum(record.images for record in completed)
     accuracies = [
         record.accuracy
-        for record in ordered
+        for record in completed
         if record.accuracy is not None and not record.diverged
     ]
+    search_trials = [
+        record for record in completed if record.kind == "search-trial"
+    ]
+    deadline_jobs = [
+        record
+        for record in ordered
+        if record.deadline is not None and record.kind == "train"
+    ]
+    met = sum(1 for record in deadline_jobs if record.met_deadline)
     return FleetSummary(
         scenario=scenario,
         scheduler=scheduler,
@@ -189,4 +268,15 @@ def summarize_fleet(
         mean_accuracy=(
             sum(accuracies) / len(accuracies) if accuracies else None
         ),
+        n_search_jobs=len(search_trials),
+        search_time=sum(record.service_time for record in search_trials),
+        n_rejected=sum(
+            1 for record in ordered if record.outcome == "rejected"
+        ),
+        n_degraded=sum(1 for record in ordered if record.degraded),
+        n_deadline_jobs=len(deadline_jobs),
+        slo_attainment=(
+            met / len(deadline_jobs) if deadline_jobs else None
+        ),
+        tuning=tuning,
     )

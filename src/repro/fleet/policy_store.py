@@ -1,0 +1,288 @@
+"""Per-job-class timing-policy store with amortization accounting.
+
+The paper's economic argument for the offline search (Section VI-C,
+Tables II/IV-VI) is that DNN training jobs *recur*: the search is paid
+once per job class and its cost is amortized across every later
+recurrence, each of which saves ``T_BSP - T_policy`` over the
+conservative all-BSP baseline.  This module gives the fleet layer that
+bookkeeping:
+
+* :class:`JobClass` — the recurrence key: workload setup + cluster
+  shape (Table I rows are exactly such classes);
+* :class:`ClassPolicy` — one searched timing policy with its measured
+  baseline/tuned service times and total search cost, exposing the
+  same derived quantities as
+  :class:`~repro.core.search.cost_model.SearchCostReport` (search cost
+  in BSP-session multiples, recurrences to break even);
+* :class:`PolicyStore` — the fleet-wide cache: lookups for admission
+  control, per-class realized-savings accounting as tuned recurrences
+  complete, and the per-class rows of the
+  ``results/fleet_tuning_summary.json`` artifact.
+
+Break-even accounting matches the cost model exactly:
+``amortized_recurrences = search_cost_x / (1 - T_policy / T_BSP)``
+which is the same number as ``search_cost / (T_BSP - T_policy)``
+recurrences — the tests pin this equivalence against a
+:class:`~repro.core.search.cost_model.SearchCostSimulator` replay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.search.binary_search import SearchResult
+from repro.errors import FleetError
+from repro.fleet.workload import JobRequest, estimate_service_time
+
+__all__ = ["JobClass", "ClassPolicy", "PolicyStore", "policy_from_search"]
+
+
+@dataclass(frozen=True)
+class JobClass:
+    """The recurrence key: one workload setup on one cluster shape.
+
+    Two jobs belong to the same class when they train the same Table-I
+    setup with the same worker demand — exactly the condition under
+    which the paper reuses a searched switch timing for a recurring
+    job (Section VI-C).
+    """
+
+    setup_index: int
+    n_workers: int
+
+    @classmethod
+    def of(cls, request: JobRequest) -> "JobClass":
+        """The class a job request belongs to."""
+        return cls(setup_index=request.setup_index, n_workers=request.n_workers)
+
+    def label(self) -> str:
+        """Short display key, e.g. ``exp1x8``."""
+        return f"exp{self.setup_index}x{self.n_workers}"
+
+
+@dataclass(frozen=True)
+class ClassPolicy:
+    """One searched timing policy and its measured economics.
+
+    ``bsp_time`` and ``policy_time`` are *fleet-measured* service
+    times (the search's static-BSP target runs and the sessions at the
+    found switch point), so preemption stretches and shared-cluster
+    contention are priced in, unlike the noise-free cost model.
+    """
+
+    job_class: JobClass
+    percent: float
+    target_accuracy: float
+    bsp_time: float
+    policy_time: float
+    search_cost: float
+    n_trials: int
+    tuned_at: float
+
+    @property
+    def saving_per_recurrence(self) -> float:
+        """Seconds one tuned recurrence saves over the all-BSP baseline."""
+        return self.bsp_time - self.policy_time
+
+    @property
+    def search_cost_x(self) -> float:
+        """Search cost in multiples of one static-BSP session (Table II)."""
+        if self.bsp_time <= 0.0:
+            return math.inf
+        return self.search_cost / self.bsp_time
+
+    @property
+    def amortized_recurrences(self) -> float:
+        """Recurrences to break even (Table II's *Amortized* column).
+
+        ``search_cost_x / (1 - T_policy / T_BSP)`` — infinite when the
+        found policy does not actually beat static BSP.
+        """
+        if self.bsp_time <= 0.0 or self.saving_per_recurrence <= 0.0:
+            return math.inf
+        return self.search_cost_x / (1.0 - self.policy_time / self.bsp_time)
+
+
+def policy_from_search(
+    job_class: JobClass, result: SearchResult, tuned_at: float
+) -> ClassPolicy:
+    """Fold a finished Algorithm 1 run into a :class:`ClassPolicy`.
+
+    The baseline time is the mean of the search's static-BSP sessions
+    and the tuned time the mean of the sessions trained at the found
+    switch fraction (Algorithm 1 only ever returns a fraction it
+    visited, so both sets are non-empty for new-job searches).
+    """
+    bsp_times = [
+        trial.time for trial in result.trials if trial.switch_fraction == 1.0
+    ]
+    if not bsp_times:
+        raise FleetError(
+            f"search for {job_class.label()} trained no static-BSP session; "
+            "cannot price the baseline"
+        )
+    tuned_times = [
+        trial.time
+        for trial in result.trials
+        if trial.switch_fraction == result.switch_fraction
+    ]
+    return ClassPolicy(
+        job_class=job_class,
+        percent=result.switch_percent,
+        target_accuracy=result.target_accuracy,
+        bsp_time=sum(bsp_times) / len(bsp_times),
+        policy_time=sum(tuned_times) / len(tuned_times),
+        search_cost=result.search_time,
+        n_trials=result.n_sessions,
+        tuned_at=tuned_at,
+    )
+
+
+class PolicyStore:
+    """Fleet-wide cache of searched timing policies, keyed by job class.
+
+    The store is the amortization ledger of the paper's recurring-job
+    argument (Section VI-C) lifted to fleet scale: the first admission
+    of a class pays for the search, every later recurrence that reuses
+    the cached policy accrues realized savings against that cost, and
+    :meth:`report` exposes the per-class break-even state.
+    """
+
+    def __init__(self):
+        self._policies: dict[JobClass, ClassPolicy] = {}
+        self._searching: set[JobClass] = set()
+        self._recurrences: dict[JobClass, int] = {}
+        self._savings: dict[JobClass, float] = {}
+        self._breakeven_at: dict[JobClass, int | None] = {}
+
+    # ------------------------------------------------------------------
+    # search lifecycle
+    # ------------------------------------------------------------------
+    def lookup(self, job_class: JobClass) -> ClassPolicy | None:
+        """The cached policy for a class, or None while un-tuned."""
+        return self._policies.get(job_class)
+
+    def is_searching(self, job_class: JobClass) -> bool:
+        """Whether a search for this class is currently in flight."""
+        return job_class in self._searching
+
+    def begin_search(self, job_class: JobClass) -> None:
+        """Mark a class's search as launched (one search per class)."""
+        if job_class in self._policies or job_class in self._searching:
+            raise FleetError(
+                f"class {job_class.label()} already tuned or searching"
+            )
+        self._searching.add(job_class)
+
+    def install(self, policy: ClassPolicy) -> None:
+        """Publish a finished search's policy for reuse."""
+        if policy.job_class in self._policies:
+            raise FleetError(
+                f"class {policy.job_class.label()} already has a policy"
+            )
+        self._searching.discard(policy.job_class)
+        self._policies[policy.job_class] = policy
+        self._recurrences[policy.job_class] = 0
+        self._savings[policy.job_class] = 0.0
+        self._breakeven_at[policy.job_class] = None
+
+    # ------------------------------------------------------------------
+    # amortization ledger
+    # ------------------------------------------------------------------
+    def note_recurrence(self, job_class: JobClass, service_time: float) -> None:
+        """Account one completed recurrence that reused the cached policy.
+
+        Accrues ``T_BSP - service_time`` of realized savings (the
+        recurrence would otherwise have trained conservatively at
+        static BSP) and records the break-even recurrence the first
+        time cumulative savings cover the search cost.
+        """
+        policy = self._policies.get(job_class)
+        if policy is None:
+            raise FleetError(
+                f"class {job_class.label()} has no policy to recur on"
+            )
+        self._recurrences[job_class] += 1
+        self._savings[job_class] += policy.bsp_time - service_time
+        if (
+            self._breakeven_at[job_class] is None
+            and self._savings[job_class] >= policy.search_cost
+        ):
+            self._breakeven_at[job_class] = self._recurrences[job_class]
+
+    def recurrences(self, job_class: JobClass) -> int:
+        """Completed recurrences that reused the class's policy."""
+        return self._recurrences.get(job_class, 0)
+
+    def realized_savings(self, job_class: JobClass) -> float:
+        """Cumulative seconds saved versus the all-BSP baseline."""
+        return self._savings.get(job_class, 0.0)
+
+    def breakeven_recurrence(self, job_class: JobClass) -> int | None:
+        """Recurrence at which savings first covered the search cost."""
+        return self._breakeven_at.get(job_class)
+
+    # ------------------------------------------------------------------
+    # admission support
+    # ------------------------------------------------------------------
+    def predict_service(self, request: JobRequest, scale: float) -> float:
+        """Predicted service time for SLO admission control.
+
+        Tuned classes predict the search's measured tuned service
+        time; everything else — un-tuned classes, explicit static
+        policies, search trials — falls back to the conservative
+        all-BSP estimate.  Never raises for an unknown class: the SLO
+        scheduler must stay usable before (or without) tuning.
+        """
+        if (
+            request.kind == "train"
+            and request.sync_policy == "sync-switch"
+            and request.percent_override is None
+        ):
+            policy = self._policies.get(JobClass.of(request))
+            if policy is not None:
+                return policy.policy_time
+        return estimate_service_time(request.setup_index, 100.0, scale)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> tuple[dict, ...]:
+        """Per-class amortization rows for the fleet summary artifact.
+
+        Infinite break-even counts (a policy that never beats BSP) are
+        reported as ``None`` so the rows stay JSON-serializable.
+        """
+        rows = []
+        for job_class in sorted(
+            self._policies, key=lambda cls: (cls.setup_index, cls.n_workers)
+        ):
+            policy = self._policies[job_class]
+            amortized = policy.amortized_recurrences
+            rows.append(
+                {
+                    "job_class": job_class.label(),
+                    "setup_index": job_class.setup_index,
+                    "n_workers": job_class.n_workers,
+                    "percent": policy.percent,
+                    "target_accuracy": policy.target_accuracy,
+                    "bsp_time_s": policy.bsp_time,
+                    "policy_time_s": policy.policy_time,
+                    "search_cost_s": policy.search_cost,
+                    "search_cost_x": (
+                        None
+                        if math.isinf(policy.search_cost_x)
+                        else policy.search_cost_x
+                    ),
+                    "amortized_recurrences": (
+                        None if math.isinf(amortized) else amortized
+                    ),
+                    "n_trials": policy.n_trials,
+                    "tuned_at_s": policy.tuned_at,
+                    "recurrences": self._recurrences[job_class],
+                    "realized_savings_s": self._savings[job_class],
+                    "breakeven_recurrence": self._breakeven_at[job_class],
+                }
+            )
+        return tuple(rows)

@@ -1,0 +1,159 @@
+"""Incremental Algorithm 1: the timing search driven by fleet jobs.
+
+The offline search (paper Appendix B, reproduced in
+:class:`~repro.core.search.binary_search.OfflineTimingSearch`) is a
+closed loop: it *calls* a trial runner and blocks until each training
+session returns.  Inside the fleet simulator a search trial is itself a
+fleet job — it queues, occupies workers, may be preempted, and finishes
+at some later simulated time — so the search must be driven the other
+way around: the simulator asks for the next batch of candidate
+sessions, admits them as jobs, and reports their outcomes as they
+complete.
+
+:class:`TimingSearchSession` is that inversion.  It holds the state of
+one Algorithm 1 run (target accuracy, binary-search bounds, explored
+settings) and exposes a two-call protocol:
+
+* :meth:`next_batch` — the switch fractions of the sessions to train
+  next (the ``R`` static-BSP target runs first, then ``r`` repetitions
+  per candidate setting);
+* :meth:`record` — one finished trial's ``(accuracy, time)``; when the
+  whole batch has reported, the bounds advance exactly like
+  Algorithm 1 lines 6-16.
+
+Given the same per-trial outcomes, a session produces a
+:class:`~repro.core.search.binary_search.SearchResult` identical to
+:class:`OfflineTimingSearch` — the equivalence is covered by tests —
+so the fleet-scale search inherits the cost accounting of the paper's
+Tables II/IV-VI.
+"""
+
+from __future__ import annotations
+
+from repro.core.search.binary_search import (
+    SearchConfig,
+    SearchResult,
+    TrialOutcome,
+)
+from repro.errors import SearchError
+
+__all__ = ["TimingSearchSession"]
+
+
+class TimingSearchSession:
+    """One in-flight Algorithm 1 search, advanced by trial completions.
+
+    The session is deterministic given the sequence of recorded
+    outcomes: trials within a batch all train the same switch fraction,
+    so the order completions are reported in does not matter.
+    """
+
+    def __init__(self, config: SearchConfig):
+        self.config = config
+        self._target = config.target_accuracy
+        self._upper = 1.0
+        self._lower = 0.0
+        self._settings_done = 0
+        self._trials: list[TrialOutcome] = []
+        self._phase = "bsp" if self._target is None else "candidates"
+        self._batch_fraction: float | None = None
+        self._outstanding = 0
+        self._batch_results: list[tuple[float, float]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether all ``max_settings`` settings have been explored."""
+        return self._phase == "done"
+
+    @property
+    def awaiting(self) -> int:
+        """Trials of the current batch not yet reported."""
+        return self._outstanding
+
+    @property
+    def target_accuracy(self) -> float | None:
+        """The search target ``A`` (None until the BSP runs finish)."""
+        return self._target
+
+    def next_batch(self) -> tuple[float, ...]:
+        """Switch fractions of the sessions to train next.
+
+        Returns the BSP target batch (all at fraction 1.0) first when
+        no target accuracy was supplied, then one batch per binary
+        search setting; an empty tuple once the search is done.
+        """
+        if self._phase == "done":
+            return ()
+        if self._outstanding:
+            raise SearchError("previous batch still has outstanding trials")
+        if self._phase == "bsp":
+            count = self.config.bsp_runs
+            self._batch_fraction = 1.0
+        else:
+            count = self.config.runs_per_setting
+            self._batch_fraction = (self._upper + self._lower) / 2.0
+        self._outstanding = count
+        self._batch_results = []
+        return (self._batch_fraction,) * count
+
+    def record(self, accuracy: float, time: float) -> None:
+        """Report one finished trial of the current batch.
+
+        ``accuracy`` is the converged accuracy (0.0 for diverged runs)
+        and ``time`` the session's training time — in the fleet, its
+        service time, so preemption stretches are charged to the
+        search cost like the paper charges full sessions.
+        """
+        if self._outstanding <= 0:
+            raise SearchError("no outstanding trial to record")
+        self._outstanding -= 1
+        self._batch_results.append((float(accuracy), float(time)))
+        if self._outstanding == 0:
+            self._advance()
+
+    def result(self) -> SearchResult:
+        """The finished search (Algorithm 1's found timing policy)."""
+        if not self.done:
+            raise SearchError("search has not finished")
+        result = SearchResult(
+            switch_fraction=self._upper, target_accuracy=self._target
+        )
+        result.trials = list(self._trials)
+        return result
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Fold the completed batch into the Algorithm 1 state."""
+        fraction = self._batch_fraction
+        mean_accuracy = sum(
+            accuracy for accuracy, _ in self._batch_results
+        ) / len(self._batch_results)
+        if self._phase == "bsp":
+            # Algorithm 1 lines 2-5: the target is the mean static-BSP
+            # accuracy; the target runs count toward search cost.
+            self._target = mean_accuracy
+            for run, (accuracy, time) in enumerate(self._batch_results):
+                self._trials.append(
+                    TrialOutcome(1.0, run, accuracy, time, valid=True)
+                )
+            self._phase = "candidates"
+            return
+        for run, (accuracy, time) in enumerate(self._batch_results):
+            self._trials.append(
+                TrialOutcome(
+                    fraction,
+                    run,
+                    accuracy,
+                    time,
+                    valid=abs(accuracy - self._target) <= self.config.beta,
+                )
+            )
+        # Lines 11-15: a good-enough candidate becomes the new upper
+        # bound (try switching even earlier), otherwise the lower.
+        if abs(mean_accuracy - self._target) <= self.config.beta:
+            self._upper = fraction
+        else:
+            self._lower = fraction
+        self._settings_done += 1
+        if self._settings_done >= self.config.max_settings:
+            self._phase = "done"

@@ -32,6 +32,7 @@ from repro.experiments.setups import SETUPS, scaled_job
 from repro.rng import child_rng
 
 __all__ = [
+    "JOB_KINDS",
     "SYNC_POLICIES",
     "JobRequest",
     "FleetScenario",
@@ -46,6 +47,12 @@ __all__ = [
 #: Fleet-level synchronization policies: every job in a stream trains
 #: under one of these (the fleet artifact compares all three).
 SYNC_POLICIES = ("bsp", "asp", "sync-switch")
+
+#: Job kinds inside a fleet: ``train`` jobs come from the workload
+#: stream; ``search-trial`` jobs are the Algorithm 1 sessions the
+#: tuning layer injects when the first job of a recurring class is
+#: admitted (Section VI-C's amortized search, run as fleet jobs).
+JOB_KINDS = ("train", "search-trial")
 
 
 def resolve_percent(setup_index: int, sync_policy: str) -> float:
@@ -69,13 +76,30 @@ def resolve_percent(setup_index: int, sync_policy: str) -> float:
 
 @dataclass(frozen=True)
 class JobRequest:
-    """One training job arriving at the fleet."""
+    """One training job arriving at the fleet.
+
+    A member of the recurring streams that Section VI-C's
+    amortization economics argue about; its class (setup index x
+    worker demand) is the recurrence key of the policy store.
+
+    ``deadline`` is the absolute simulated time by which the job must
+    finish for its SLO to hold (None = no deadline; only the
+    ``slo`` scheduler enforces them).  A deadline *earlier* than the
+    arrival is legal — it states an SLO that is already blown when the
+    job shows up, and the SLO scheduler rejects such jobs on arrival.
+    ``percent_override`` pins the BSP percentage regardless of the
+    sync policy (used by injected search trials); ``kind`` separates
+    stream jobs from the tuning layer's search trials.
+    """
 
     job_id: int
     arrival: float
     setup_index: int = 1
     n_workers: int = 8
     sync_policy: str = "sync-switch"
+    deadline: float | None = None
+    kind: str = "train"
+    percent_override: float | None = None
 
     def __post_init__(self):
         if self.job_id < 0:
@@ -90,10 +114,22 @@ class JobRequest:
             raise ConfigurationError(
                 f"unknown sync policy {self.sync_policy!r}"
             )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("deadline must be positive")
+        if self.kind not in JOB_KINDS:
+            raise ConfigurationError(
+                f"unknown job kind {self.kind!r}; known: {JOB_KINDS}"
+            )
+        if self.percent_override is not None and not (
+            0.0 <= self.percent_override <= 100.0
+        ):
+            raise ConfigurationError("percent_override must be in [0, 100]")
 
     @property
     def percent(self) -> float:
-        """Resolved BSP percentage for this job's policy."""
+        """Resolved BSP percentage: the override, else the policy's."""
+        if self.percent_override is not None:
+            return self.percent_override
         return resolve_percent(self.setup_index, self.sync_policy)
 
     def to_dict(self) -> dict:
@@ -104,6 +140,9 @@ class JobRequest:
             "setup_index": self.setup_index,
             "n_workers": self.n_workers,
             "sync_policy": self.sync_policy,
+            "deadline": self.deadline,
+            "kind": self.kind,
+            "percent_override": self.percent_override,
         }
 
     @classmethod
@@ -116,10 +155,21 @@ class JobRequest:
 class FleetScenario:
     """A named contention scenario for the fleet simulator.
 
+    Scenarios instantiate the paper's "recurring jobs on a shared
+    cluster" setting (Section VI-C) at different offered loads;
+    ``recurring`` is the amortization showcase and ``deadline`` the
+    SLO-admission one.
+
     ``interarrival_factor`` scales the mean inter-arrival gap relative
     to the estimated Sync-Switch service time of ``setup_mix[0]``:
     below ~``demand / pool_size`` the cluster queues, above it the
     stream is mostly uncontended.
+
+    ``deadline_factor``, when set, attaches an SLO to every generated
+    job: its deadline is ``arrival + factor x estimated Sync-Switch
+    service time`` of its own setup, so a factor well above the
+    BSP/Sync-Switch speedup is loose for everyone while a factor near
+    1 is only attainable by the fast policy.
     """
 
     name: str
@@ -128,12 +178,15 @@ class FleetScenario:
     n_jobs: int
     interarrival_factor: float
     setup_mix: tuple[int, ...] = (1,)
+    deadline_factor: float | None = None
 
     def __post_init__(self):
         if self.pool_size <= 0 or self.n_jobs <= 0:
             raise ConfigurationError("pool_size and n_jobs must be positive")
         if self.interarrival_factor < 0:
             raise ConfigurationError("interarrival_factor must be >= 0")
+        if self.deadline_factor is not None and self.deadline_factor <= 0:
+            raise ConfigurationError("deadline_factor must be positive")
         for index in self.setup_mix:
             if index not in SETUPS:
                 raise ConfigurationError(f"unknown setup index {index}")
@@ -182,6 +235,25 @@ FLEET_SCENARIOS: dict[str, FleetScenario] = {
         interarrival_factor=0.25,
         setup_mix=(1, 1, 3),
     ),
+    "recurring": FleetScenario(
+        name="recurring",
+        description="long stream of one recurring class: search amortization",
+        pool_size=16,
+        n_jobs=16,
+        interarrival_factor=2.0,
+    ),
+    "deadline": FleetScenario(
+        name="deadline",
+        description="rush-like stream where every job carries an SLO deadline",
+        pool_size=16,
+        n_jobs=6,
+        interarrival_factor=0.4,
+        # Above the ~4.6x conservative BSP/Sync-Switch estimate ratio:
+        # an un-tuned (all-BSP-degraded) job is feasible when admitted
+        # promptly, but queueing under the 0.4 offered load causes
+        # misses that only the tuned fast policy avoids.
+        deadline_factor=6.0,
+    ),
 }
 
 
@@ -219,6 +291,9 @@ def poisson_stream(
     The first job arrives at t=0; subsequent gaps are exponential with
     mean ``interarrival_factor x estimated Sync-Switch service time``.
     Workload setups cycle round-robin through ``scenario.setup_mix``.
+    When the scenario has a ``deadline_factor``, every job carries a
+    deadline of ``arrival + factor x`` its own estimated Sync-Switch
+    service time (see :class:`FleetScenario`).
     """
     count = n_jobs if n_jobs is not None else scenario.n_jobs
     if count <= 0:
@@ -235,6 +310,15 @@ def poisson_stream(
     arrival = 0.0
     for job_id in range(count):
         setup_index = scenario.setup_mix[job_id % len(scenario.setup_mix)]
+        deadline = None
+        if scenario.deadline_factor is not None:
+            deadline = arrival + scenario.deadline_factor * (
+                estimate_service_time(
+                    setup_index,
+                    resolve_percent(setup_index, "sync-switch"),
+                    scale,
+                )
+            )
         requests.append(
             JobRequest(
                 job_id=job_id,
@@ -242,6 +326,7 @@ def poisson_stream(
                 setup_index=setup_index,
                 n_workers=SETUPS[setup_index].n_workers,
                 sync_policy=sync_policy,
+                deadline=deadline,
             )
         )
         arrival += float(rng.exponential(mean_gap)) if mean_gap > 0 else 0.0

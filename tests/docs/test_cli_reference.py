@@ -1,0 +1,64 @@
+"""CI check: ``docs/cli.md`` stays in sync with the argparse parser.
+
+Walks every subcommand and option of :func:`repro.cli.build_parser`
+and fails if any is missing from the CLI reference, so a flag can not
+be added (or renamed) without documenting it.  Run by the tier-1 suite
+and by the dedicated docs job in CI.
+"""
+
+import argparse
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+DOCS_CLI = Path(__file__).resolve().parents[2] / "docs" / "cli.md"
+
+
+def subparsers(parser: argparse.ArgumentParser) -> dict:
+    """The subcommand name -> subparser mapping of a parser."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise AssertionError("parser has no subcommands")
+
+
+@pytest.fixture(scope="module")
+def reference_text() -> str:
+    assert DOCS_CLI.exists(), f"missing CLI reference {DOCS_CLI}"
+    return DOCS_CLI.read_text(encoding="utf-8")
+
+
+def test_every_subcommand_documented(reference_text):
+    missing = [
+        name
+        for name in subparsers(build_parser())
+        if f"`{name}`" not in reference_text and f"## {name}" not in reference_text
+    ]
+    assert not missing, f"subcommands missing from docs/cli.md: {missing}"
+
+
+def test_every_flag_documented(reference_text):
+    missing = []
+    for name, subparser in subparsers(build_parser()).items():
+        for action in subparser._actions:
+            for option in action.option_strings:
+                if option in ("-h", "--help"):
+                    continue
+                if f"`{option}" not in reference_text:
+                    missing.append(f"{name} {option}")
+    assert not missing, f"flags missing from docs/cli.md: {missing}"
+
+
+def test_positional_arguments_documented(reference_text):
+    for name, subparser in subparsers(build_parser()).items():
+        for action in subparser._actions:
+            if action.option_strings or isinstance(
+                action, argparse._SubParsersAction
+            ):
+                continue
+            assert f"`{action.dest}`" in reference_text, (
+                f"positional argument {name} {action.dest!r} missing "
+                "from docs/cli.md"
+            )

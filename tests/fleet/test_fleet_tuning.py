@@ -1,0 +1,127 @@
+"""Integration tests: the amortized timing search run as fleet jobs.
+
+Uses setup 3 (``search_max_settings=1``) so one search is exactly two
+fleet jobs — one static-BSP target run and one candidate — keeping the
+simulations cheap.  Arrivals are spaced so the search finishes before
+the recurrences show up: every later job must reuse the cached policy.
+"""
+
+import pytest
+
+from repro.fleet import (
+    FleetConfig,
+    JobClass,
+    JobRequest,
+    simulate_fleet,
+)
+
+SCALE = 0.008
+
+#: Job 0 triggers the search at t=0; jobs 1-3 arrive long after the
+#: two trial sessions (a few hundred simulated seconds) completed.
+TRACE = (
+    JobRequest(job_id=0, arrival=0.0, setup_index=3, n_workers=16),
+    JobRequest(job_id=1, arrival=5_000.0, setup_index=3, n_workers=16),
+    JobRequest(job_id=2, arrival=5_001.0, setup_index=3, n_workers=16),
+    JobRequest(job_id=3, arrival=10_000.0, setup_index=3, n_workers=16),
+)
+
+
+def config(**overrides) -> FleetConfig:
+    base = {
+        "scenario": "trace",
+        "scheduler": "fifo",
+        "sync_policy": "sync-switch",
+        "seed": 0,
+        "scale": SCALE,
+        "trace": TRACE,
+        "pool_size": 32,
+        "tune": True,
+    }
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def tuned_summary():
+    return simulate_fleet(config())
+
+
+class TestSearchAsFleetJobs:
+    def test_search_trials_are_fleet_jobs(self, tuned_summary):
+        trials = [
+            record
+            for record in tuned_summary.jobs
+            if record.kind == "search-trial"
+        ]
+        # setup 3: one BSP target run + one candidate setting.
+        assert len(trials) == 2
+        assert tuned_summary.n_search_jobs == 2
+        percents = sorted(record.percent for record in trials)
+        assert percents == [50.0, 100.0]
+        for record in trials:
+            assert record.outcome == "completed"
+            assert record.service_time > 0.0
+            assert record.demand == 16
+        assert tuned_summary.search_time == pytest.approx(
+            sum(record.service_time for record in trials)
+        )
+
+    def test_trials_count_toward_jct_and_records(self, tuned_summary):
+        # 4 stream jobs + 2 search trials, all in the record stream.
+        assert tuned_summary.n_jobs == 6
+        jcts = [
+            record.jct
+            for record in tuned_summary.jobs
+            if record.outcome == "completed"
+        ]
+        assert tuned_summary.mean_jct == pytest.approx(sum(jcts) / len(jcts))
+
+    def test_recurrences_reuse_the_cached_policy(self, tuned_summary):
+        stream = {
+            record.job_id: record
+            for record in tuned_summary.jobs
+            if record.kind == "train"
+        }
+        # Job 0 triggered the search and trained at the un-tuned prior.
+        assert not stream[0].tuned
+        assert stream[0].percent == 50.0
+        # Jobs 1-3 arrived after tuning completed: all reuse the policy.
+        tuned_percent = stream[1].percent
+        for job_id in (1, 2, 3):
+            assert stream[job_id].tuned
+            assert stream[job_id].percent == tuned_percent
+
+    def test_store_ledger_in_summary(self, tuned_summary):
+        assert tuned_summary.tuning is not None
+        assert len(tuned_summary.tuning) == 1
+        row = tuned_summary.tuning[0]
+        assert row["job_class"] == JobClass(3, 16).label()
+        assert row["n_trials"] == 2
+        assert row["search_cost_s"] == pytest.approx(
+            tuned_summary.search_time
+        )
+        assert row["recurrences"] == 3
+        # The candidate either matched the target (tuned percent 50,
+        # positive saving) or the policy stayed at 100% (no saving);
+        # either way the ledger stays consistent.
+        if row["percent"] < 100.0:
+            assert row["policy_time_s"] < row["bsp_time_s"]
+            assert row["amortized_recurrences"] is not None
+
+    def test_untuned_run_has_no_ledger(self):
+        summary = simulate_fleet(config(tune=False))
+        assert summary.tuning is None
+        assert summary.n_search_jobs == 0
+        assert all(record.kind == "train" for record in summary.jobs)
+        assert not any(record.tuned for record in summary.jobs)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_summary(self, tuned_summary):
+        again = simulate_fleet(config())
+        assert again.to_dict() == tuned_summary.to_dict()
+
+    def test_seed_changes_outcome(self, tuned_summary):
+        other = simulate_fleet(config(seed=1))
+        assert other.to_dict() != tuned_summary.to_dict()

@@ -27,7 +27,7 @@ def job(job_id, arrival=0.0, workers=8, policy="sync-switch"):
 
 class TestRegistry:
     def test_known_schedulers(self):
-        assert set(SCHEDULERS) == {"fifo", "sjf", "best-fit"}
+        assert set(SCHEDULERS) == {"fifo", "sjf", "best-fit", "slo"}
         for name in SCHEDULERS:
             assert make_scheduler(name).name == name
 

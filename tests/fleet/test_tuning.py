@@ -1,0 +1,121 @@
+"""Tests for the incremental Algorithm 1 session (fleet tuning)."""
+
+import pytest
+
+from repro.core.search import OfflineTimingSearch, SearchConfig
+from repro.errors import SearchError
+from repro.fleet.tuning import TimingSearchSession
+
+
+def deterministic_trial(fraction, run):
+    """Noise-free trial: accurate above 0.2, fast below 1.0."""
+    accuracy = 0.90 if fraction >= 0.2 else 0.80
+    return accuracy, 50.0 + 100.0 * fraction
+
+
+CONFIG = SearchConfig(beta=0.05, max_settings=4, runs_per_setting=2, bsp_runs=2)
+
+
+def drive(session):
+    while not session.done:
+        batch = session.next_batch()
+        for run, fraction in enumerate(batch):
+            session.record(*deterministic_trial(fraction, run))
+    return session.result()
+
+
+class TestEquivalenceWithOfflineSearch:
+    """The session must replay Algorithm 1 exactly (same trial stream)."""
+
+    def test_same_policy_target_and_trials(self):
+        offline = OfflineTimingSearch(deterministic_trial, CONFIG).search()
+        result = drive(TimingSearchSession(CONFIG))
+        assert result.switch_fraction == offline.switch_fraction
+        assert result.target_accuracy == offline.target_accuracy
+        assert result.search_time == pytest.approx(offline.search_time)
+        assert [
+            (t.switch_fraction, t.run_index, t.accuracy, t.time, t.valid)
+            for t in result.trials
+        ] == [
+            (t.switch_fraction, t.run_index, t.accuracy, t.time, t.valid)
+            for t in offline.trials
+        ]
+
+    def test_supplied_target_skips_bsp_runs(self):
+        config = SearchConfig(
+            beta=0.05, max_settings=3, runs_per_setting=1,
+            target_accuracy=0.90,
+        )
+        offline = OfflineTimingSearch(deterministic_trial, config).search()
+        session = TimingSearchSession(config)
+        first = session.next_batch()
+        assert first == (0.5,)  # no BSP batch: straight to candidates
+        session.record(*deterministic_trial(0.5, 0))
+        result = drive(session)
+        assert result.switch_fraction == offline.switch_fraction
+        assert result.n_sessions == offline.n_sessions == 3
+
+
+class TestSessionProtocol:
+    def test_bsp_batch_first_then_candidates(self):
+        session = TimingSearchSession(CONFIG)
+        assert session.target_accuracy is None
+        batch = session.next_batch()
+        assert batch == (1.0, 1.0)
+        assert session.awaiting == 2
+        session.record(0.9, 100.0)
+        session.record(0.9, 100.0)
+        assert session.target_accuracy == pytest.approx(0.9)
+        assert session.next_batch() == (0.5, 0.5)
+
+    def test_next_batch_with_outstanding_trials_rejected(self):
+        session = TimingSearchSession(CONFIG)
+        session.next_batch()
+        with pytest.raises(SearchError):
+            session.next_batch()
+
+    def test_record_without_batch_rejected(self):
+        session = TimingSearchSession(CONFIG)
+        with pytest.raises(SearchError):
+            session.record(0.9, 100.0)
+
+    def test_result_before_done_rejected(self):
+        session = TimingSearchSession(CONFIG)
+        with pytest.raises(SearchError):
+            session.result()
+
+    def test_done_session_yields_empty_batch(self):
+        session = TimingSearchSession(CONFIG)
+        drive(session)
+        assert session.done
+        assert session.next_batch() == ()
+
+    def test_record_order_within_batch_is_irrelevant(self):
+        def noisy(fraction, run):
+            accuracy = (0.92 if run == 0 else 0.88) if fraction >= 0.2 else 0.8
+            return accuracy, 50.0 + run
+        config = SearchConfig(
+            beta=0.05, max_settings=2, runs_per_setting=2, bsp_runs=1
+        )
+        forward = TimingSearchSession(config)
+        backward = TimingSearchSession(config)
+        while not forward.done:
+            batch_f = forward.next_batch()
+            batch_b = backward.next_batch()
+            assert batch_f == batch_b
+            outcomes = [
+                noisy(fraction, run) for run, fraction in enumerate(batch_f)
+            ]
+            for outcome in outcomes:
+                forward.record(*outcome)
+            for outcome in reversed(outcomes):
+                backward.record(*outcome)
+        # Same policy and total cost either way (the mean test is
+        # order-free; only per-trial run indices may swap).
+        assert (
+            forward.result().switch_fraction
+            == backward.result().switch_fraction
+        )
+        assert forward.result().search_time == pytest.approx(
+            backward.result().search_time
+        )

@@ -121,3 +121,80 @@ def test_fleet_command_tiny(capsys, tmp_path, monkeypatch):
     assert "Fleet (surge)" in out
     assert "mean_jct_s" in out
     assert out_path.exists()
+
+
+def test_parser_fleet_tune_and_slo_flags():
+    parser = build_parser()
+    args = parser.parse_args(["fleet", "--tune", "--seeds", "2", "--slo"])
+    assert args.tune and args.slo
+    assert args.seeds == 2
+    defaults = parser.parse_args(["fleet"])
+    assert not defaults.tune and not defaults.slo
+    assert defaults.seeds is None
+    args = parser.parse_args(["fleet", "--scheduler", "slo"])
+    assert args.scheduler == "slo"
+
+
+def test_fleet_seeds_requires_tune(capsys):
+    assert main(["fleet", "--seeds", "2"]) == 2
+    assert "--seeds" in capsys.readouterr().err
+
+
+def test_fleet_tune_rejects_policy(capsys):
+    assert main(["fleet", "--tune", "--policy", "bsp"]) == 2
+    assert "--policy" in capsys.readouterr().err
+
+
+def test_fleet_tune_rejects_seed(capsys):
+    # The tuning grid always runs seeds 0..N-1; a silently ignored
+    # --seed would suggest a varied stream that never ran.
+    assert main(["fleet", "--tune", "--seed", "7"]) == 2
+    assert "--seed" in capsys.readouterr().err
+
+
+def test_fleet_slo_rejects_conflicting_scheduler(capsys):
+    assert main(["fleet", "--slo", "--scheduler", "best-fit"]) == 2
+    assert "--slo" in capsys.readouterr().err
+    parser = build_parser()
+    assert parser.parse_args(["fleet", "--slo", "--scheduler", "slo"])
+
+
+def test_fleet_tune_command_tiny(capsys, tmp_path, monkeypatch):
+    # Setup 3 searches with exactly two trial jobs (max_settings=1),
+    # keeping the end-to-end --tune path cheap.
+    import json
+
+    from repro.fleet import JobRequest, save_trace
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    trace_path = tmp_path / "trace.json"
+    save_trace(
+        trace_path,
+        (
+            JobRequest(job_id=0, arrival=0.0, setup_index=3, n_workers=16),
+            JobRequest(
+                job_id=1, arrival=5000.0, setup_index=3, n_workers=16
+            ),
+        ),
+    )
+    out_path = tmp_path / "fleet_tuning_summary.json"
+    assert main(["fleet", "--trace", str(trace_path), "--tune",
+                 "--seeds", "1", "--scheduler", "fifo",
+                 "--scale", "0.008", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet search" in out
+    assert "tuned" in out
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    assert set(payload["scenarios"]) == {"trace"}
+    assert payload["scenarios"]["trace"]["tuned"]["classes"]
+
+
+def test_fleet_slo_command_tiny(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out_path = tmp_path / "fleet_summary.json"
+    assert main(["fleet", "--scenario", "deadline", "--jobs", "2",
+                 "--slo", "--policy", "sync-switch", "--scale", "0.008",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "slo" in out
+    assert "slo_attained" in out
