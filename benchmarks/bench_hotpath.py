@@ -1,0 +1,57 @@
+"""Hot-path steps/sec benchmark (per engine + end-to-end fig5b cell).
+
+Unlike the artifact benchmarks, this one measures the simulator's raw
+per-update loop: simulated training steps per wall-clock second for
+each protocol engine, plus the cold-cache cost of one fig-5b sweep
+cell.  The payload is written to ``results/hotpath_bench.json`` and
+attached to the pytest-benchmark ``extra_info`` so the ``BENCH_*.json``
+perf trajectory captures it.
+
+Quick mode (``REPRO_HOTPATH_QUICK=1``, used by the CI perf-smoke job)
+shrinks the step budgets ~4x; the regression check normalizes by the
+in-process matmul calibration score, so the committed
+``results/hotpath_speedup.json`` baseline remains comparable across
+machines.
+"""
+
+import os
+from pathlib import Path
+
+from repro.experiments.hotpath import (
+    DEFAULT_TOLERANCE,
+    check_regression,
+    load_payload,
+    render_hotpath_report,
+    run_hotpath_bench,
+    write_payload,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+SPEEDUP_BASELINE = RESULTS_DIR / "hotpath_speedup.json"
+
+
+def bench_hotpath(benchmark):
+    quick = os.environ.get("REPRO_HOTPATH_QUICK", "") not in ("", "0")
+    payload = benchmark.pedantic(
+        run_hotpath_bench,
+        kwargs={"quick": quick},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print("\n" + render_hotpath_report(payload))
+    write_payload(payload, RESULTS_DIR / "hotpath_bench.json")
+    benchmark.extra_info["hotpath"] = {
+        name: entry["steps_per_sec"]
+        for name, entry in payload["engines"].items()
+    }
+    benchmark.extra_info["fig5b_cell_s"] = payload["fig5b_cell_s"]
+    benchmark.extra_info["calibration"] = payload["calibration"]
+    assert all(
+        entry["steps_per_sec"] > 0 for entry in payload["engines"].values()
+    ), "an engine benchmark produced no steps"
+    if SPEEDUP_BASELINE.exists():
+        regressions = check_regression(
+            payload, load_payload(SPEEDUP_BASELINE), DEFAULT_TOLERANCE
+        )
+        assert not regressions, "; ".join(regressions)

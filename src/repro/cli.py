@@ -12,6 +12,8 @@ simulator:
   pool and write the fleet summary artifact; ``--tune`` runs the
   amortized in-fleet timing search comparison, ``--slo`` serves the
   stream through the deadline-aware scheduler.
+* ``sync-switch bench`` — hot-path steps/sec benchmark with an optional
+  regression check against the committed baseline.
 * ``sync-switch list`` — show setups, artifacts and fleet scenarios.
 
 The full flag reference lives in ``docs/cli.md`` (CI checks it stays
@@ -41,6 +43,15 @@ from repro.experiments.fleet import (
     tuning_summary_payload,
     write_fleet_summary,
     write_tuning_summary,
+)
+from repro.experiments.hotpath import (
+    DEFAULT_TOLERANCE,
+    check_regression,
+    load_payload,
+    render_hotpath_report,
+    run_hotpath_bench,
+    speedup_payload,
+    write_payload,
 )
 from repro.experiments.setups import scaled_job
 from repro.fleet import FLEET_SCENARIOS, SCHEDULERS, SYNC_POLICIES, load_trace
@@ -152,6 +163,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seeds per cell for the --tune confidence intervals "
         f"(default {DEFAULT_TUNING_SEEDS}; requires --tune)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="hot-path steps/sec benchmark (per engine + fig5b cell)"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="~4x smaller step budgets (the CI perf-smoke mode)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="write the benchmark payload JSON here "
+        "(with --record-speedup: the speedup artifact, default "
+        "results/hotpath_speedup.json)",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare machine-relative steps/sec against BASELINE "
+        "(a payload or speedup artifact); exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop for --check "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    bench.add_argument(
+        "--record-speedup",
+        default=None,
+        metavar="BASELINE",
+        help="combine a previously saved BASELINE payload with this run "
+        "into the committed speedup artifact",
     )
 
     sub.add_parser("list", help="show setups, artifacts and fleet scenarios")
@@ -339,6 +387,32 @@ def _cmd_fleet_tune(args, scenario: str, trace) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    payload = run_hotpath_bench(quick=args.quick)
+    print(render_hotpath_report(payload))
+    if args.record_speedup:
+        baseline = load_payload(args.record_speedup)
+        artifact = speedup_payload(baseline, payload)
+        target = write_payload(
+            artifact, args.out or "results/hotpath_speedup.json"
+        )
+        print(f"\nspeedup artifact written to {target}")
+    elif args.out:
+        target = write_payload(payload, args.out)
+        print(f"\nbenchmark payload written to {target}")
+    if args.check:
+        regressions = check_regression(
+            payload, load_payload(args.check), args.tolerance
+        )
+        if regressions:
+            print("\nPERF REGRESSION vs " + args.check, file=sys.stderr)
+            for line in regressions:
+                print("  " + line, file=sys.stderr)
+            return 1
+        print(f"\nperf check ok vs {args.check}")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("experiment setups:")
     for index in sorted(SETUPS):
@@ -368,6 +442,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": _cmd_search,
         "report": _cmd_report,
         "fleet": _cmd_fleet,
+        "bench": _cmd_bench,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

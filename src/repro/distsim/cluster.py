@@ -83,4 +83,7 @@ class Cluster:
 
     def is_active(self, worker: int) -> bool:
         """Whether ``worker`` currently participates."""
-        return worker in self.all_workers and worker not in self._evicted
+        return (
+            0 <= worker < self.spec.n_workers
+            and worker not in self._evicted
+        )

@@ -18,7 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distsim.engines.base import StopCondition, TrainingSession
+from repro.distsim.engines.base import (
+    GradientBatcher,
+    StopCondition,
+    TrainingSession,
+)
 from repro.distsim.events import EventQueue
 from repro.mlcore.compression import GradientCompressor, make_compressor
 
@@ -29,7 +33,7 @@ __all__ = ["ASPEngine"]
 COMM_FRACTION = 0.5
 
 
-@dataclass
+@dataclass(slots=True)
 class _WorkerState:
     """In-flight computation of one asynchronous worker."""
 
@@ -60,48 +64,64 @@ class ASPEngine:
         target = session.step + steps
         queue = EventQueue()
         states: dict[int, _WorkerState] = {}
+        batcher = GradientBatcher(session, batch_size)
         ps_free_at = session.clock.now
 
         for worker in session.cluster.active_workers:
             self._pull_and_schedule(session, queue, states, worker, batch_size)
 
-        while session.step < target and queue:
-            event_time, worker = queue.pop()
-            if not session.cluster.is_active(worker):
-                states.pop(worker, None)
-                continue
-            # PS applies pushes one at a time.
-            apply_time = max(event_time, ps_free_at)
-            ps_free_at = apply_time + session.timing.ps_apply
-            session.clock.advance_to(apply_time)
+        try:
+            while session.step < target and queue:
+                event_time, worker = queue.pop()
+                if not session.cluster.is_active(worker):
+                    stale = states.pop(worker, None)
+                    if stale is not None:
+                        batcher.invalidate(worker)
+                        session.ps.release(stale.params)
+                    continue
+                # PS applies pushes one at a time.
+                apply_time = max(event_time, ps_free_at)
+                ps_free_at = apply_time + session.timing.ps_apply
+                session.clock.advance_to(apply_time)
 
-            state = states.pop(worker)
-            staleness = session.ps.staleness(state.pulled_version)
-            session.telemetry.record_staleness(staleness)
-            inputs, labels = session.worker_batch(worker, batch_size)
-            loss, grad = session.model.loss_and_grad(
-                state.params, inputs, labels
-            )
-            if self._compressor is not None:
-                grad = self._compressor.compress(
-                    grad, session.time_rng(worker)
+                state = states[worker]
+                staleness = session.ps.staleness(state.pulled_version)
+                session.telemetry.record_staleness(staleness)
+                loss, grad = batcher.gradient_for(worker, states)
+                del states[worker]
+                session.ps.release(state.params)
+                if self._compressor is not None:
+                    grad = self._compressor.compress(
+                        grad, session.time_rng(worker)
+                    )
+                lr = session.base_lr_now() * lr_multiplier
+                session.ps.push(grad, lr, momentum=session.momentum_now())
+                session.telemetry.record_worker_duration(
+                    apply_time, worker, apply_time - state.start_time
                 )
-            lr = session.base_lr_now() * lr_multiplier
-            session.ps.push(grad, lr, momentum=session.momentum_now())
-            session.telemetry.record_worker_duration(
-                apply_time, worker, apply_time - state.start_time
-            )
 
-            session.step += 1
-            session.telemetry.images_processed += batch_size
-            session.after_update(loss)
+                session.step += 1
+                session.telemetry.images_processed += batch_size
+                session.after_update(loss)
 
-            self._pull_and_schedule(session, queue, states, worker, batch_size)
-
-            if stop is not None:
-                reason = stop(session)
-                if reason:
-                    return reason
+                if stop is not None:
+                    reason = stop(session)
+                    if reason:
+                        return reason
+                # Reschedule only after the stop hook ran: it may have
+                # resized the cluster (elastic shrink during an ASP
+                # tail), and an evicted worker must not get new work.
+                self._pull_and_schedule(
+                    session, queue, states, worker, batch_size
+                )
+        finally:
+            # Rewind the data streams of eagerly evaluated updates that
+            # never got applied, so follow-up segments see exactly the
+            # draws a per-update evaluation would have made — and hand
+            # the in-flight snapshots back so their buffers recycle.
+            batcher.rollback_unconsumed()
+            for state in states.values():
+                session.ps.release(state.params)
         return "completed"
 
     def _pull_and_schedule(
@@ -112,7 +132,14 @@ class ASPEngine:
         worker: int,
         batch_size: int,
     ) -> None:
-        """Worker pulls fresh parameters and schedules its next push."""
+        """Worker pulls fresh parameters and schedules its next push.
+
+        No-op for workers that are not active: scheduling an evicted
+        worker would enqueue a push that the event loop silently drops,
+        pinning its parameter snapshot until then.
+        """
+        if not session.cluster.is_active(worker):
+            return
         params, version = session.ps.pull()
         now = session.clock.now
         states[worker] = _WorkerState(
@@ -120,7 +147,7 @@ class ASPEngine:
         )
         slow, latency = session.stragglers.state_at(worker, now)
         duration = session.timing.compute_time(
-            batch_size, session.time_rng(worker), slow, latency
+            batch_size, session.time_noise(worker), slow, latency
         )
         duration = max(duration - self._comm_saving(session), 1e-4)
         queue.push(now + duration, worker)

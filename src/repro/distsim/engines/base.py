@@ -9,6 +9,7 @@ session; the trainer sequences engines over plan segments.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Protocol
 
 import numpy as np
@@ -18,16 +19,16 @@ from repro.distsim.job import JobConfig
 from repro.distsim.parameter_server import ShardedParameterServer
 from repro.distsim.stragglers import StragglerSchedule
 from repro.distsim.telemetry import TrainingTelemetry
-from repro.distsim.timing import TimingModel
+from repro.distsim.timing import ChunkedLognormalNoise, TimingModel
 from repro.errors import DivergenceError
-from repro.mlcore.datasets import SyntheticDataset
+from repro.mlcore.datasets import ShardIndexStream, SyntheticDataset
 from repro.mlcore.metrics import ConvergenceTracker
 from repro.mlcore.models import ResidualMLPClassifier
 from repro.mlcore.optim import MomentumSchedule, PiecewiseDecaySchedule
 from repro.distsim.events import SimClock
 from repro.rng import child_rng
 
-__all__ = ["TrainingSession", "Engine", "StopCondition"]
+__all__ = ["TrainingSession", "GradientBatcher", "Engine", "StopCondition"]
 
 #: Called after every update; returning a string stops the engine and
 #: surfaces the string as the stop reason.
@@ -62,6 +63,9 @@ class TrainingSession:
         self.telemetry = TrainingTelemetry()
         self.tracker = ConvergenceTracker()
         self.lr_schedule = PiecewiseDecaySchedule(job.base_lr)
+        self._lr_steps = tuple(
+            zip(self.lr_schedule.boundaries, self.lr_schedule.factors)
+        )
         self.step = 0
         self.async_switch_step: int | None = None
         self.momentum_schedule: MomentumSchedule | None = None
@@ -71,10 +75,27 @@ class TrainingSession:
             worker: child_rng(job.seed, f"data/{worker}")
             for worker in cluster.all_workers
         }
+        # Chunked index pre-draws per worker (bit-identical stream,
+        # amortized Generator call overhead).
+        self._index_streams = {
+            worker: ShardIndexStream(
+                self._data_rngs[worker],
+                *dataset.shard_range(worker, cluster.spec.n_workers),
+            )
+            for worker in cluster.all_workers
+        }
         self._time_rngs = {
             worker: child_rng(job.seed, f"time/{worker}")
             for worker in cluster.all_workers
         }
+        # Chunked jitter streams wrap the raw generators above: the
+        # values and their order are identical to scalar draws, the
+        # Generator call overhead is amortized over the chunk.
+        self._time_noise = {
+            worker: ChunkedLognormalNoise(rng, timing.jitter_sigma)
+            for worker, rng in self._time_rngs.items()
+        }
+        self._grad_buffer: np.ndarray | None = None
         self._next_eval = 0
         self._next_loss_log = 0
         self._last_loss: float | None = None
@@ -88,8 +109,20 @@ class TrainingSession:
         return min(self.step / self.job.total_steps, 1.0)
 
     def base_lr_now(self) -> float:
-        """Per-worker learning rate at the current progress."""
-        return self.lr_schedule.lr_at(self.fraction)
+        """Per-worker learning rate at the current progress.
+
+        Inlined :meth:`PiecewiseDecaySchedule.lr_at` (same comparisons,
+        same floats) — this runs once per simulated update.
+        """
+        fraction = self.step / self.job.total_steps
+        if fraction > 1.0:
+            fraction = 1.0
+        base = self.lr_schedule.base_lr
+        lr = base
+        for boundary, factor in self._lr_steps:
+            if fraction >= boundary:
+                lr = base * factor
+        return lr
 
     def momentum_now(self) -> float:
         """Momentum, honouring any post-switch ramp schedule."""
@@ -109,25 +142,48 @@ class TrainingSession:
     ) -> tuple[np.ndarray, np.ndarray]:
         """One mini-batch from ``worker``'s shard of the training data."""
         size = batch_size or self.job.batch_size
-        return self.dataset.shard_batch(
-            self._data_rngs[worker],
-            size,
-            shard=worker,
-            n_shards=self.cluster.spec.n_workers,
-        )
+        indices = self._index_streams[worker].draw(size)
+        return self.dataset.x_train[indices], self.dataset.y_train[indices]
 
     def global_batch(
         self, workers: tuple[int, ...], batch_size: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Concatenated per-worker batches (a BSP round's global batch)."""
-        parts = [self.worker_batch(worker, batch_size) for worker in workers]
-        inputs = np.concatenate([x for x, _ in parts], axis=0)
-        labels = np.concatenate([y for _, y in parts], axis=0)
-        return inputs, labels
+        """Concatenated per-worker batches (a BSP round's global batch).
+
+        Index draws stay per-worker (each worker's data stream is
+        unchanged), but the gather runs once over the concatenated
+        indices — identical values to concatenating per-worker gathers.
+        """
+        size = batch_size or self.job.batch_size
+        indices = np.concatenate(
+            [self._index_streams[worker].draw(size) for worker in workers]
+        )
+        return self.dataset.x_train[indices], self.dataset.y_train[indices]
 
     def time_rng(self, worker: int) -> np.random.Generator:
-        """The timing-noise stream of ``worker``."""
+        """The raw timing-noise generator of ``worker``.
+
+        Shared with :meth:`time_noise` — components that draw other
+        distributions from it (gradient compression) interleave with
+        the jitter stream.
+        """
         return self._time_rngs[worker]
+
+    def time_noise(self, worker: int) -> ChunkedLognormalNoise:
+        """The chunked jitter stream of ``worker`` (engine hot path)."""
+        return self._time_noise[worker]
+
+    def grad_buffer(self) -> np.ndarray:
+        """Session-owned gradient buffer for ``loss_and_grad(grad_out=...)``.
+
+        One buffer serves every engine: the gradient is consumed by the
+        parameter-server push before the next evaluation overwrites it.
+        """
+        if self._grad_buffer is None:
+            self._grad_buffer = np.empty(
+                self.model.layout.size, dtype=self.ps.params.dtype
+            )
+        return self._grad_buffer
 
     # ------------------------------------------------------------------
     # logging, evaluation, divergence
@@ -154,7 +210,7 @@ class TrainingSession:
 
     def check_divergence(self, loss: float) -> None:
         """Raise :class:`DivergenceError` on loss blow-up (paper Fig. 13)."""
-        if not np.isfinite(loss) or loss > self.job.divergence_threshold:
+        if not math.isfinite(loss) or loss > self.job.divergence_threshold:
             self.diverged = True
             self.diverged_step = self.step
             raise DivergenceError(
@@ -173,6 +229,106 @@ class TrainingSession:
             self.async_switch_step = self.step
         if momentum_schedule is not None:
             self.momentum_schedule = momentum_schedule
+
+
+class GradientBatcher:
+    """Deferred, batched gradient evaluation for the async engines.
+
+    Each asynchronous worker's pending gradient is a pure function of
+    its frozen parameter snapshot and its own data stream, fixed at
+    pull time.  When the event loop pops a worker whose gradient is
+    not cached yet, the batcher evaluates *every* in-flight worker's
+    gradient in one stacked :meth:`ResidualMLPClassifier.loss_and_grad_batch`
+    pass — one numpy dispatch per operation per ``n_workers`` updates
+    — and serves the rest from cache as their pushes arrive.  Slice
+    results are bit-identical to per-update evaluation.
+
+    Data-stream discipline: eager evaluation draws a worker's batch
+    earlier than the lazy per-pop draw, but in the same per-worker
+    order.  The pre-draw generator state is saved with each entry, so
+    discarding an unconsumed gradient (worker evicted, segment budget
+    exhausted mid-flight) rewinds the stream to exactly where lazy
+    evaluation would have left it.  Engines must call
+    :meth:`rollback_unconsumed` before returning.
+    """
+
+    def __init__(self, session: "TrainingSession", batch_size: int):
+        self._session = session
+        self._batch_size = batch_size
+        self._cache: dict[int, tuple[float, np.ndarray, tuple, list]] = {}
+        # Staging matrices are fully consumed within each evaluation,
+        # hence reusable; gradient stacks return to a per-K pool once
+        # every row has been consumed.  Reuse keeps buffer ids stable,
+        # which keeps the model's stacked-view caches warm.
+        self._stages: dict[int, np.ndarray] = {}
+        self._grad_pool: dict[int, list[np.ndarray]] = {}
+
+    def gradient_for(self, worker: int, states: dict) -> tuple[float, np.ndarray]:
+        """Loss and gradient of ``worker``'s in-flight update."""
+        entry = self._cache.pop(worker, None)
+        if entry is None:
+            self._evaluate_pending(states)
+            entry = self._cache.pop(worker)
+        self._consume(entry)
+        return entry[0], entry[1]
+
+    def invalidate(self, worker: int) -> None:
+        """Drop a cached gradient and rewind the worker's data stream."""
+        entry = self._cache.pop(worker, None)
+        if entry is not None:
+            self._session._index_streams[worker].restore(entry[2])
+            self._consume(entry)
+
+    def _consume(self, entry: tuple) -> None:
+        record = entry[3]
+        record[1] -= 1
+        if record[1] == 0:
+            pool = self._grad_pool.setdefault(record[0].shape[0], [])
+            if len(pool) < 4:
+                pool.append(record[0])
+
+    def rollback_unconsumed(self) -> None:
+        """Rewind every unconsumed eager draw (end of an engine run)."""
+        for worker in list(self._cache):
+            self.invalidate(worker)
+
+    def _evaluate_pending(self, states: dict) -> None:
+        session = self._session
+        pending = sorted(w for w in states if w not in self._cache)
+        count = len(pending)
+        model = session.model
+        stage = self._stages.get(count)
+        if stage is None:
+            stage = np.empty(
+                (count, model.layout.size), dtype=session.ps.params.dtype
+            )
+            self._stages[count] = stage
+        inputs_stack = None
+        labels_stack = None
+        stream_marks = []
+        for index, worker in enumerate(pending):
+            stage[index] = states[worker].params
+            stream_marks.append(session._index_streams[worker].snapshot())
+            inputs, labels = session.worker_batch(worker, self._batch_size)
+            if inputs_stack is None:
+                inputs_stack = np.empty(
+                    (count,) + inputs.shape, dtype=inputs.dtype
+                )
+                labels_stack = np.empty(
+                    (count,) + labels.shape, dtype=labels.dtype
+                )
+            inputs_stack[index] = inputs
+            labels_stack[index] = labels
+        pool = self._grad_pool.get(count)
+        grad_buffer = pool.pop() if pool else None
+        losses, grads = model.loss_and_grad_batch(
+            stage, inputs_stack, labels_stack, grad_out=grad_buffer
+        )
+        record = [grads, count]
+        for index, worker in enumerate(pending):
+            self._cache[worker] = (
+                losses[index], grads[index], stream_marks[index], record
+            )
 
 
 class Engine(Protocol):

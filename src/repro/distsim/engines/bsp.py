@@ -50,13 +50,14 @@ class BSPEngine:
             lr_multiplier = float(options.get("lr_multiplier", n_active))
 
             # Timing half: draw each worker's duration under its current
-            # straggler state; the barrier waits for the slowest.
+            # straggler state (batched: one schedule query per round);
+            # the barrier waits for the slowest.
             now = session.clock.now
             durations = []
-            for worker in workers:
-                slow, latency = session.stragglers.state_at(worker, now)
+            straggler_states = session.stragglers.states_at(workers, now)
+            for worker, (slow, latency) in zip(workers, straggler_states):
                 duration = session.timing.compute_time(
-                    batch_size, session.time_rng(worker), slow, latency
+                    batch_size, session.time_noise(worker), slow, latency
                 )
                 durations.append(duration)
                 session.telemetry.record_worker_duration(now, worker, duration)
@@ -65,7 +66,7 @@ class BSPEngine:
             # Numeric half: one aggregated update on the global batch.
             inputs, labels = session.global_batch(workers, batch_size)
             loss, grad = session.model.loss_and_grad(
-                session.ps.peek(), inputs, labels
+                session.ps.peek(), inputs, labels, grad_out=session.grad_buffer()
             )
             lr = session.base_lr_now() * lr_multiplier
             session.ps.push(grad, lr, momentum=session.job.momentum)

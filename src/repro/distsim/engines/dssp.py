@@ -67,12 +67,6 @@ class DSSPEngine:
 
     def _blocking_signal(self, session: TrainingSession) -> float:
         """Fraction of recent pushes with near-maximal staleness."""
-        counts = session.telemetry.staleness_counts
-        total = sum(counts.values())
-        if total == 0:
-            return 0.0
-        n_workers = session.cluster.n_active
-        high = sum(
-            count for value, count in counts.items() if value >= n_workers
+        return session.telemetry.staleness_high_fraction(
+            session.cluster.n_active
         )
-        return high / total

@@ -19,7 +19,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distsim.engines.base import StopCondition, TrainingSession
+from repro.distsim.engines.base import (
+    GradientBatcher,
+    StopCondition,
+    TrainingSession,
+)
 from repro.distsim.events import EventQueue
 
 __all__ = ["SSPEngine"]
@@ -27,7 +31,7 @@ __all__ = ["SSPEngine"]
 DEFAULT_STALENESS_BOUND = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class _WorkerState:
     """Per-worker asynchronous progress."""
 
@@ -59,6 +63,7 @@ class SSPEngine:
         states: dict[int, _WorkerState] = {}
         iterations: dict[int, int] = {}
         blocked: set[int] = set()
+        batcher = GradientBatcher(session, batch_size)
         ps_free_at = session.clock.now
 
         workers = session.cluster.active_workers
@@ -66,51 +71,65 @@ class SSPEngine:
             iterations[worker] = 0
             self._pull_and_schedule(session, queue, states, worker, batch_size)
 
-        while session.step < target and queue:
-            event_time, worker = queue.pop()
-            if not session.cluster.is_active(worker):
-                states.pop(worker, None)
-                continue
-            apply_time = max(event_time, ps_free_at)
-            ps_free_at = apply_time + session.timing.ps_apply
-            session.clock.advance_to(apply_time)
+        try:
+            while session.step < target and queue:
+                event_time, worker = queue.pop()
+                if not session.cluster.is_active(worker):
+                    stale = states.pop(worker, None)
+                    if stale is not None:
+                        batcher.invalidate(worker)
+                        session.ps.release(stale.params)
+                    continue
+                apply_time = max(event_time, ps_free_at)
+                ps_free_at = apply_time + session.timing.ps_apply
+                session.clock.advance_to(apply_time)
 
-            state = states.pop(worker)
-            staleness = session.ps.staleness(state.pulled_version)
-            session.telemetry.record_staleness(staleness)
-            inputs, labels = session.worker_batch(worker, batch_size)
-            loss, grad = session.model.loss_and_grad(state.params, inputs, labels)
-            lr = session.base_lr_now() * lr_multiplier
-            session.ps.push(grad, lr, momentum=session.momentum_now())
-            session.telemetry.record_worker_duration(
-                apply_time, worker, apply_time - state.start_time
-            )
+                state = states[worker]
+                staleness = session.ps.staleness(state.pulled_version)
+                session.telemetry.record_staleness(staleness)
+                loss, grad = batcher.gradient_for(worker, states)
+                del states[worker]
+                session.ps.release(state.params)
+                lr = session.base_lr_now() * lr_multiplier
+                session.ps.push(grad, lr, momentum=session.momentum_now())
+                session.telemetry.record_worker_duration(
+                    apply_time, worker, apply_time - state.start_time
+                )
 
-            iterations[worker] += 1
-            session.step += 1
-            session.telemetry.images_processed += batch_size
-            session.after_update(loss)
+                iterations[worker] += 1
+                session.step += 1
+                session.telemetry.images_processed += batch_size
+                session.after_update(loss)
 
-            # SSP condition: may start iteration c+1 only if
-            # c - min(iterations) <= bound.
-            floor = min(iterations[w] for w in iterations)
-            if iterations[worker] - floor <= bound:
-                self._pull_and_schedule(session, queue, states, worker, batch_size)
-            else:
-                blocked.add(worker)
-            # This push may have raised the floor: release blocked workers.
-            floor = min(iterations[w] for w in iterations)
-            for waiting in sorted(blocked):
-                if iterations[waiting] - floor <= bound:
-                    blocked.discard(waiting)
+                # SSP condition: may start iteration c+1 only if
+                # c - min(iterations) <= bound.
+                floor = min(iterations[w] for w in iterations)
+                if iterations[worker] - floor <= bound:
                     self._pull_and_schedule(
-                        session, queue, states, waiting, batch_size
+                        session, queue, states, worker, batch_size
                     )
+                else:
+                    blocked.add(worker)
+                # This push may have raised the floor: release blocked
+                # workers.
+                floor = min(iterations[w] for w in iterations)
+                for waiting in sorted(blocked):
+                    if iterations[waiting] - floor <= bound:
+                        blocked.discard(waiting)
+                        self._pull_and_schedule(
+                            session, queue, states, waiting, batch_size
+                        )
 
-            if stop is not None:
-                reason = stop(session)
-                if reason:
-                    return reason
+                if stop is not None:
+                    reason = stop(session)
+                    if reason:
+                        return reason
+        finally:
+            # Rewind unapplied eager draws and release in-flight
+            # snapshots (buffer recycling across segments).
+            batcher.rollback_unconsumed()
+            for state in states.values():
+                session.ps.release(state.params)
         return "completed"
 
     def _pull_and_schedule(
@@ -121,6 +140,9 @@ class SSPEngine:
         worker: int,
         batch_size: int,
     ) -> None:
+        """Pull + schedule; no-op for evicted workers (elastic resize)."""
+        if not session.cluster.is_active(worker):
+            return
         params, version = session.ps.pull()
         now = session.clock.now
         states[worker] = _WorkerState(
@@ -128,6 +150,6 @@ class SSPEngine:
         )
         slow, latency = session.stragglers.state_at(worker, now)
         duration = session.timing.compute_time(
-            batch_size, session.time_rng(worker), slow, latency
+            batch_size, session.time_noise(worker), slow, latency
         )
         queue.push(now + duration, worker)

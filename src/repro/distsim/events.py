@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError
@@ -37,38 +37,36 @@ class SimClock:
         return self.now
 
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    sequence: int
-    payload: Any = field(compare=False)
-
-
 class EventQueue:
-    """A deterministic min-heap of timestamped events."""
+    """A deterministic min-heap of timestamped events.
+
+    Entries are plain ``(time, sequence, payload)`` tuples — heap
+    comparisons stop at the unique sequence number, so the payload is
+    never compared and pushes/pops stay cheap in the engines' loops.
+    """
 
     def __init__(self):
-        self._heap: list[_Entry] = []
+        self._heap: list[tuple[float, int, Any]] = []
         self._counter = itertools.count()
 
     def push(self, time: float, payload: Any) -> None:
         """Schedule ``payload`` at simulated ``time``."""
         if time < 0:
             raise ConfigurationError("event time must be non-negative")
-        heapq.heappush(self._heap, _Entry(time, next(self._counter), payload))
+        heapq.heappush(self._heap, (time, next(self._counter), payload))
 
     def pop(self) -> tuple[float, Any]:
         """Remove and return the earliest ``(time, payload)`` pair."""
         if not self._heap:
             raise ConfigurationError("pop from empty event queue")
-        entry = heapq.heappop(self._heap)
-        return entry.time, entry.payload
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
 
     def peek_time(self) -> float:
         """Time of the earliest event without removing it."""
         if not self._heap:
             raise ConfigurationError("peek on empty event queue")
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -76,6 +76,17 @@ class StragglerSchedule:
     def __init__(self, events: list[StragglerEvent] | None = None):
         self._by_worker: dict[int, list[StragglerEvent]] = {}
         self._starts: dict[int, list[float]] = {}
+        # Columnar per-worker index for the hot-path queries:
+        # (starts, ends, slow_factors, latencies), sorted by start.
+        self._index: dict[int, tuple[np.ndarray, ...]] = {}
+        # Per-worker memo of the last query's constant-state window:
+        # (window_start, window_end, slow_factor, extra_latency).  The
+        # engines query each worker at (mostly) increasing times, so
+        # one computed window serves every query until the next event
+        # boundary.
+        self._memo: dict[int, tuple[float, float, float, float]] = {}
+        self._first_start = float("inf")
+        self._last_end = float("-inf")
         self.events: list[StragglerEvent] = []
         for event in events or []:
             self.add(event)
@@ -87,23 +98,79 @@ class StragglerSchedule:
         bucket.append(event)
         bucket.sort(key=lambda e: e.start)
         self._starts[event.worker] = [e.start for e in bucket]
+        self._index[event.worker] = (
+            np.array([e.start for e in bucket]),
+            np.array([e.end for e in bucket]),
+            np.array([e.slow_factor for e in bucket]),
+            np.array([e.extra_latency for e in bucket]),
+        )
+        self._first_start = min(self._first_start, event.start)
+        self._last_end = max(self._last_end, event.end)
+        self._memo.pop(event.worker, None)
 
     def state_at(self, worker: int, time: float) -> tuple[float, float]:
         """``(slow_factor, extra_latency)`` for ``worker`` at ``time``.
 
         Overlapping events compound: slow factors multiply and
-        latencies add.
+        latencies add.  The active-event scan is vectorized over the
+        per-worker columnar index; compounding runs in start order, so
+        the floating-point result is identical to the event-loop form.
         """
-        bucket = self._by_worker.get(worker)
-        if not bucket:
+        index = self._index.get(worker)
+        if index is None:
             return 1.0, 0.0
-        factor, latency = 1.0, 0.0
-        hi = bisect_right(self._starts[worker], time)
-        for event in bucket[:hi]:
-            if event.start <= time < event.end:
-                factor *= event.slow_factor
-                latency += event.extra_latency
+        memo = self._memo.get(worker)
+        if memo is not None and memo[0] <= time < memo[1]:
+            return memo[2], memo[3]
+        starts, ends, factors, latencies = index
+        hi = int(np.searchsorted(starts, time, side="right"))
+        # The state is constant until the next event starts or an
+        # active event ends; remember that window for the next query.
+        window_end = starts[hi] if hi < starts.shape[0] else float("inf")
+        if hi == 0:
+            factor, latency = 1.0, 0.0
+        else:
+            started_ends = ends[:hi]
+            active = np.nonzero(started_ends > time)[0]
+            if active.size == 0:
+                factor, latency = 1.0, 0.0
+            elif active.size == 1:
+                position = active[0]
+                factor = float(factors[position])
+                latency = float(latencies[position])
+                window_end = min(window_end, float(started_ends[position]))
+            else:
+                factor, latency = 1.0, 0.0
+                for position in active:
+                    factor *= float(factors[position])
+                    latency += float(latencies[position])
+                window_end = min(
+                    window_end, float(started_ends[active].min())
+                )
+        self._memo[worker] = (time, window_end, factor, latency)
         return factor, latency
+
+    def states_at(
+        self, workers: tuple[int, ...] | list[int], time: float
+    ) -> list[tuple[float, float]]:
+        """``state_at`` for many workers at one instant (one round).
+
+        The BSP/SSP round loops query every active worker at the same
+        simulated time; this batched form short-circuits schedules with
+        no event anywhere near ``time`` and otherwise walks the
+        per-worker indexes once.
+        """
+        if self._clear_at(time):
+            return [(1.0, 0.0)] * len(workers)
+        return [self.state_at(worker, time) for worker in workers]
+
+    def _clear_at(self, time: float) -> bool:
+        """True when no event anywhere can be active at ``time``."""
+        return (
+            not self.events
+            or time < self._first_start
+            or time >= self._last_end
+        )
 
     def is_straggling(self, worker: int, time: float) -> bool:
         """Whether ``worker`` is slowed at ``time``."""

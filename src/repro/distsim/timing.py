@@ -24,7 +24,61 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["TimingModel", "timing_for", "TIMING_REGISTRY"]
+__all__ = [
+    "TimingModel",
+    "ChunkedLognormalNoise",
+    "timing_for",
+    "TIMING_REGISTRY",
+]
+
+#: Jitter values pre-drawn per refill of a :class:`ChunkedLognormalNoise`.
+DEFAULT_NOISE_CHUNK = 64
+
+
+class ChunkedLognormalNoise:
+    """Pre-drawn lognormal jitter stream for one worker.
+
+    Scalar ``Generator.lognormal`` calls dominate the timing model's
+    cost in the asynchronous engines (one draw per simulated batch).
+    This wrapper draws ``chunk`` values at a time — numpy fills
+    vectorized draws from the same underlying stream in the same order,
+    so the served sequence is bit-identical to scalar draws — and hands
+    them out one by one.
+
+    The wrapper must be the generator's *only* consumer: any direct
+    draw from ``rng`` after a refill would observe a stream that has
+    already advanced past the buffered values.  Components that share a
+    worker's generator with other distributions (gradient compression)
+    keep using the raw generator and accept a shifted-but-deterministic
+    stream; see ``docs/performance.md``.
+    """
+
+    __slots__ = ("_rng", "_sigma", "_chunk", "_buffer", "_index")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        sigma: float,
+        chunk: int = DEFAULT_NOISE_CHUNK,
+    ):
+        if chunk <= 0:
+            raise ConfigurationError("noise chunk must be positive")
+        self._rng = rng
+        self._sigma = sigma
+        self._chunk = chunk
+        self._buffer = np.empty(0)
+        self._index = 0
+
+    def next_jitter(self) -> float:
+        """The next lognormal jitter value in the worker's stream."""
+        if self._index >= self._buffer.shape[0]:
+            self._buffer = self._rng.lognormal(
+                0.0, self._sigma, size=self._chunk
+            )
+            self._index = 0
+        value = self._buffer[self._index]
+        self._index += 1
+        return float(value)
 
 
 @dataclass(frozen=True)
@@ -69,12 +123,15 @@ class TimingModel:
     def compute_time(
         self,
         batch_size: int,
-        rng: np.random.Generator,
+        rng: np.random.Generator | ChunkedLognormalNoise,
         slow_factor: float = 1.0,
         extra_latency: float = 0.0,
     ) -> float:
         """One worker's wall-clock seconds for one mini-batch.
 
+        ``rng`` is either the worker's raw generator (one scalar
+        lognormal draw) or its :class:`ChunkedLognormalNoise` stream
+        (same values, amortized draw cost — the engines' hot path).
         ``slow_factor`` scales the whole batch (resource contention);
         ``extra_latency`` is per-packet network latency in seconds,
         multiplied by the per-batch round-trip count.
@@ -84,7 +141,10 @@ class TimingModel:
         if slow_factor < 1.0:
             raise ConfigurationError("slow_factor must be >= 1")
         base = self.batch_overhead + self.per_sample * batch_size
-        jitter = float(rng.lognormal(0.0, self.jitter_sigma))
+        if isinstance(rng, ChunkedLognormalNoise):
+            jitter = rng.next_jitter()
+        else:
+            jitter = float(rng.lognormal(0.0, self.jitter_sigma))
         return base * jitter * slow_factor + extra_latency * self.straggler_rtt_factor
 
     def mean_compute_time(self, batch_size: int) -> float:

@@ -1,0 +1,324 @@
+"""Hot-path benchmark harness: simulated training steps per second.
+
+Every figure, search trial and fleet job funnels through the per-update
+loop in :mod:`repro.distsim` + :mod:`repro.mlcore`, so its Python and
+allocation overhead multiplies into everything the harness produces.
+This module measures that loop directly:
+
+* **per-engine steps/sec** — each protocol engine (bsp/asp/ssp/dssp)
+  runs a fixed step budget on a standalone session (setup-1 workload,
+  ambient noise on) and reports simulated training steps per wall-clock
+  second;
+* **end-to-end fig5b cell** — one cold-cache
+  ``{"kind": "switch", "percent": 6.25}`` cell through the
+  :class:`~repro.experiments.runner.ExperimentRunner`, the unit of work
+  every sweep/search/fleet grid repeats;
+* **machine calibration** — a fixed numpy matmul workload timed in the
+  same process.  Steps/sec divided by the calibration score is a
+  machine-relative number, which is what regression checks compare so a
+  slower CI runner does not produce false alarms.
+
+``results/hotpath_speedup.json`` (written by ``python -m repro bench
+--record-speedup`` and committed) records the pre-optimization baseline
+next to the current numbers and starts the repo's perf trajectory; the
+CI perf-smoke job replays the quick benchmark and fails on a >25%
+machine-relative regression.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distsim.cluster import ClusterSpec
+from repro.distsim.engines import make_engine
+from repro.distsim.job import JobConfig
+from repro.distsim.trainer import DistributedTrainer
+from repro.errors import ConfigurationError, DivergenceError
+
+__all__ = [
+    "ENGINES",
+    "bench_engine",
+    "bench_fig5b_cell",
+    "calibration_score",
+    "run_hotpath_bench",
+    "check_regression",
+    "speedup_payload",
+    "render_hotpath_report",
+    "DEFAULT_TOLERANCE",
+]
+
+ENGINES = ("bsp", "asp", "ssp", "dssp")
+
+#: Benchmark rows: protocol engines on the canonical per-worker batch
+#: (128, the scaled_job configuration) plus the *kernel regime* — ASP
+#: and BSP at per-worker batch 16 (the paper keeps the global batch
+#: fixed when dividing it across the cluster, Section IV-C / Fig. 8a),
+#: where per-update simulation overhead rather than BLAS time
+#: dominates.  The kernel rows are what the zero-copy rewrite targets;
+#: ``asp-kernel`` is the headline ASP hot-path number.
+BENCH_ROWS: dict[str, tuple[str, int]] = {
+    "bsp": ("bsp", 128),
+    "asp": ("asp", 128),
+    "ssp": ("ssp", 128),
+    "dssp": ("dssp", 128),
+    "asp-kernel": ("asp", 16),
+    "bsp-kernel": ("bsp", 16),
+}
+
+#: Step budgets per row: enough updates for a stable wall-clock
+#: measurement while keeping the full pass in the tens of seconds.
+FULL_STEPS = {
+    "bsp": 1024,
+    "asp": 2048,
+    "ssp": 2048,
+    "dssp": 2048,
+    "asp-kernel": 4096,
+    "bsp-kernel": 4096,
+}
+QUICK_STEPS = {name: max(steps // 4, 256) for name, steps in FULL_STEPS.items()}
+
+#: Allowed machine-relative steps/sec drop before the check fails.
+DEFAULT_TOLERANCE = 0.25
+
+_BENCH_WORKERS = 8
+_BENCH_BATCH = 128
+
+
+def _bench_job(
+    total_steps: int, batch_size: int = _BENCH_BATCH, seed: int = 0
+) -> JobConfig:
+    """The setup-1-shaped job used by the engine benchmarks."""
+    return JobConfig(
+        model="resnet32-sim",
+        dataset="cifar10-sim",
+        total_steps=total_steps,
+        batch_size=batch_size,
+        base_lr=0.004,
+        eval_every=max(total_steps // 4, 64),
+        loss_log_every=max(total_steps // 16, 32),
+        seed=seed,
+    )
+
+
+def bench_engine(
+    protocol: str,
+    steps: int,
+    repeats: int = 3,
+    seed: int = 0,
+    batch_size: int = _BENCH_BATCH,
+) -> dict:
+    """Steps/sec of one protocol engine over ``steps`` updates.
+
+    Each repeat builds a fresh session (same seed — the measured work is
+    identical) and times ``engine.run``; the best repeat is reported, as
+    is conventional for wall-clock microbenchmarks.
+    """
+    if protocol not in ENGINES:
+        raise ConfigurationError(f"unknown engine {protocol!r}; known: {ENGINES}")
+    if steps <= 0 or repeats <= 0:
+        raise ConfigurationError("steps and repeats must be positive")
+    job = _bench_job(steps, batch_size=batch_size, seed=seed)
+    trainer = DistributedTrainer(job, ClusterSpec(n_workers=_BENCH_WORKERS))
+    best = None
+    completed = 0
+    for _ in range(repeats):
+        session = trainer.new_session()
+        engine = make_engine(protocol)
+        start = time.perf_counter()
+        try:
+            engine.run(session, steps)
+        except DivergenceError:
+            pass  # steps/sec over the completed prefix is still valid
+        elapsed = time.perf_counter() - start
+        rate = session.step / elapsed if elapsed > 0 else 0.0
+        if best is None or rate > best:
+            best = rate
+            completed = session.step
+    return {
+        "steps": completed,
+        "batch_size": batch_size,
+        "steps_per_sec": best,
+        "elapsed_s": completed / best if best else 0.0,
+    }
+
+
+def bench_fig5b_cell(scale: float = 0.01, seed: int = 0) -> float:
+    """Cold-cache wall-clock seconds of one fig-5b sweep cell.
+
+    Runs the setup-1 ``switch @ 6.25%`` configuration through the
+    experiment runner with a throwaway cache, i.e. exactly the unit of
+    work that sweeps, searches and fleet grids repeat.
+    """
+    # Imported here: the runner pulls in the full experiments package,
+    # which the lightweight engine benchmarks do not need.
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.setups import SETUPS
+
+    with tempfile.TemporaryDirectory(prefix="repro-hotpath-") as cache:
+        runner = ExperimentRunner(scale=scale, seeds=1, cache_dir=cache, jobs=1)
+        start = time.perf_counter()
+        runner.run(SETUPS[1], {"kind": "switch", "percent": 6.25}, seed)
+        return time.perf_counter() - start
+
+
+def calibration_score(repeats: int = 5) -> float:
+    """Machine speed proxy: best matmul throughput of a fixed workload.
+
+    Returns iterations/second of a 256x256 float32 matmul chain.  The
+    regression check divides steps/sec by this score, so comparisons
+    between the committed baseline and a differently-sized CI runner
+    stay meaningful.
+    """
+    a = np.random.default_rng(0).normal(size=(256, 256)).astype(np.float32)
+    b = a.copy()
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(32):
+            b = a @ b
+            b *= 1e-3  # keep magnitudes bounded
+        elapsed = time.perf_counter() - start
+        best = max(best, 32 / elapsed)
+    return best
+
+
+def run_hotpath_bench(quick: bool = False, fig5b_scale: float = 0.01) -> dict:
+    """Run the full hot-path benchmark and return the JSON payload."""
+    budgets = QUICK_STEPS if quick else FULL_STEPS
+    engines = {}
+    for name, (protocol, batch_size) in BENCH_ROWS.items():
+        engines[name] = bench_engine(
+            protocol,
+            budgets[name],
+            repeats=1 if quick else 3,
+            batch_size=batch_size,
+        )
+    return {
+        "version": 1,
+        "quick": quick,
+        "workload": {
+            "model": "resnet32-sim",
+            "dataset": "cifar10-sim",
+            "n_workers": _BENCH_WORKERS,
+            "batch_size": _BENCH_BATCH,
+        },
+        "engines": engines,
+        "fig5b_cell_s": bench_fig5b_cell(scale=fig5b_scale),
+        "calibration": calibration_score(),
+        "machine": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+    }
+
+
+def _normalized(payload: dict) -> dict[str, float]:
+    """Machine-relative steps/sec per engine (steps/sec / calibration)."""
+    calibration = float(payload.get("calibration") or 0.0)
+    if calibration <= 0:
+        raise ConfigurationError("payload has no calibration score")
+    return {
+        name: entry["steps_per_sec"] / calibration
+        for name, entry in payload["engines"].items()
+    }
+
+
+def check_regression(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Compare machine-relative steps/sec against a baseline payload.
+
+    ``baseline`` may be a plain benchmark payload or a speedup artifact
+    (in which case its ``optimized`` section is the reference).  Returns
+    one message per engine whose normalized steps/sec dropped more than
+    ``tolerance`` (empty list = pass).
+    """
+    reference = baseline.get("optimized", baseline)
+    current_norm = _normalized(current)
+    baseline_norm = _normalized(reference)
+    regressions = []
+    for name, base_value in sorted(baseline_norm.items()):
+        if name not in current_norm or base_value <= 0:
+            continue
+        ratio = current_norm[name] / base_value
+        if ratio < 1.0 - tolerance:
+            regressions.append(
+                f"{name}: machine-relative steps/sec fell to {ratio:.2f}x "
+                f"of baseline (tolerance {1.0 - tolerance:.2f}x)"
+            )
+    return regressions
+
+
+def speedup_payload(baseline: dict, optimized: dict) -> dict:
+    """The committed ``results/hotpath_speedup.json`` structure."""
+    speedup = {}
+    for name, entry in optimized["engines"].items():
+        base = baseline["engines"].get(name)
+        if base and base["steps_per_sec"]:
+            speedup[name] = entry["steps_per_sec"] / base["steps_per_sec"]
+    if baseline.get("fig5b_cell_s") and optimized.get("fig5b_cell_s"):
+        speedup["fig5b_cell"] = (
+            baseline["fig5b_cell_s"] / optimized["fig5b_cell_s"]
+        )
+    return {
+        "version": 1,
+        "workload": optimized["workload"],
+        "machine": optimized["machine"],
+        "baseline": {
+            "engines": baseline["engines"],
+            "fig5b_cell_s": baseline.get("fig5b_cell_s"),
+            "calibration": baseline.get("calibration"),
+        },
+        "optimized": {
+            "engines": optimized["engines"],
+            "fig5b_cell_s": optimized.get("fig5b_cell_s"),
+            "calibration": optimized.get("calibration"),
+        },
+        "speedup": speedup,
+    }
+
+
+def render_hotpath_report(payload: dict) -> str:
+    """Human-readable summary of one benchmark payload."""
+    lines = [
+        "hot-path benchmark "
+        + ("(quick)" if payload.get("quick") else "(full)"),
+        f"  workload    : {payload['workload']['model']} "
+        f"x{payload['workload']['n_workers']} "
+        f"batch {payload['workload']['batch_size']}",
+    ]
+    for name, entry in payload["engines"].items():
+        lines.append(
+            f"  {name:<11}: {entry['steps_per_sec']:>10.1f} steps/s "
+            f"({entry['steps']} steps of batch "
+            f"{entry.get('batch_size', _BENCH_BATCH)} "
+            f"in {entry['elapsed_s']:.2f}s)"
+        )
+    lines.append(f"  fig5b cell  : {payload['fig5b_cell_s']:.2f}s cold-cache")
+    lines.append(f"  calibration : {payload['calibration']:.1f} matmul-iter/s")
+    return "\n".join(lines)
+
+
+def load_payload(path: str | Path) -> dict:
+    """Read a benchmark or speedup JSON artifact."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def write_payload(payload: dict, path: str | Path) -> Path:
+    """Write a JSON artifact (pretty-printed, trailing newline)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return target

@@ -28,7 +28,86 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.rng import child_rng
 
-__all__ = ["DatasetConfig", "SyntheticDataset", "make_dataset", "DATASET_REGISTRY"]
+__all__ = [
+    "DatasetConfig",
+    "SyntheticDataset",
+    "ShardIndexStream",
+    "make_dataset",
+    "DATASET_REGISTRY",
+]
+
+
+class ShardIndexStream:
+    """Chunked pre-draws of one worker's shard sample indices.
+
+    ``Generator.integers`` fills vectorized draws from the same stream
+    in the same order as repeated smaller draws, so serving mini-batch
+    index blocks out of a pre-drawn chunk is bit-identical to drawing
+    per batch — while paying the Generator call overhead once per
+    ``chunk`` indices.  :meth:`snapshot`/:meth:`restore` capture the
+    exact stream position so an eagerly drawn batch can be rewound
+    (see :class:`repro.distsim.engines.base.GradientBatcher`).
+    """
+
+    __slots__ = (
+        "_rng", "_lo", "_hi", "_chunk", "_buffer", "_position",
+        "_state_after_fill",
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        lo: int,
+        hi: int,
+        chunk: int = 4096,
+    ):
+        if chunk <= 0:
+            raise ConfigurationError("index chunk must be positive")
+        self._rng = rng
+        self._lo = lo
+        self._hi = hi
+        self._chunk = chunk
+        self._buffer = np.empty(0, dtype=np.int64)
+        self._position = 0
+        # Generator state right after the current buffer was drawn —
+        # captured once per refill so snapshot() is allocation-free.
+        self._state_after_fill = rng.bit_generator.state
+
+    def draw(self, size: int) -> np.ndarray:
+        """The next ``size`` indices of this worker's sample stream."""
+        if size <= 0:
+            raise ConfigurationError("batch size must be positive")
+        buffer, position = self._buffer, self._position
+        end = position + size
+        if end <= buffer.shape[0]:
+            self._position = end
+            return buffer[position:end]
+        leftover = buffer[position:]
+        need = size - leftover.shape[0]
+        fresh = self._rng.integers(
+            self._lo, self._hi, size=max(self._chunk, need)
+        )
+        self._state_after_fill = self._rng.bit_generator.state
+        self._buffer = fresh
+        self._position = need
+        if leftover.shape[0] == 0:
+            return fresh[:need]
+        return np.concatenate([leftover, fresh[:need]])
+
+    def snapshot(self) -> tuple:
+        """Exact stream position (buffer, offset, post-fill state)."""
+        return (self._buffer, self._position, self._state_after_fill)
+
+    def restore(self, snapshot: tuple) -> None:
+        """Rewind to a :meth:`snapshot` (undoes draws made since).
+
+        Restoring the post-fill generator state means any refill after
+        the rewound position regenerates exactly the values it produced
+        the first time.
+        """
+        self._buffer, self._position, state = snapshot
+        self._state_after_fill = state
+        self._rng.bit_generator.state = state
 
 
 @dataclass(frozen=True)
@@ -81,6 +160,7 @@ class SyntheticDataset:
         self.y_train = labels[: config.train_size]
         self.x_test = inputs[config.train_size :]
         self.y_test = labels[config.train_size :]
+        self._shard_ranges: dict[tuple[int, int], tuple[int, int]] = {}
 
     @property
     def n_classes(self) -> int:
@@ -106,13 +186,36 @@ class SyntheticDataset:
 
         Data parallelism partitions the training data across workers
         (paper Section II-A); every sample belongs to exactly one shard.
+        Cached per ``(shard, n_shards)``: this runs once per simulated
+        mini-batch.
         """
+        cached = self._shard_ranges.get((shard, n_shards))
+        if cached is not None:
+            return cached
         if not 0 <= shard < n_shards:
             raise ConfigurationError(f"shard {shard} out of range for {n_shards}")
         base, extra = divmod(self.config.train_size, n_shards)
         lo = shard * base + min(shard, extra)
         hi = lo + base + (1 if shard < extra else 0)
+        self._shard_ranges[(shard, n_shards)] = (lo, hi)
         return lo, hi
+
+    def shard_indices(
+        self,
+        rng: np.random.Generator,
+        size: int,
+        shard: int,
+        n_shards: int,
+    ) -> np.ndarray:
+        """Draw one mini-batch of train indices from a worker's shard.
+
+        Split out of :meth:`shard_batch` so a synchronous round can
+        concatenate every worker's indices and gather once.
+        """
+        if size <= 0:
+            raise ConfigurationError("batch size must be positive")
+        lo, hi = self.shard_range(shard, n_shards)
+        return rng.integers(lo, hi, size=size)
 
     def shard_batch(
         self,
@@ -122,10 +225,7 @@ class SyntheticDataset:
         n_shards: int,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Sample a mini-batch from one worker's data shard."""
-        if size <= 0:
-            raise ConfigurationError("batch size must be positive")
-        lo, hi = self.shard_range(shard, n_shards)
-        indices = rng.integers(lo, hi, size=size)
+        indices = self.shard_indices(rng, size, shard, n_shards)
         return self.x_train[indices], self.y_train[indices]
 
     def __repr__(self) -> str:

@@ -15,6 +15,16 @@ Models are *functional*: parameters live in a flat vector (see
 is a pure function of ``(params, batch)``.  An ASP worker expresses a
 stale gradient simply by calling it with an old vector.
 
+Hot path: every simulated update calls :meth:`loss_and_grad`, so the
+forward/backward pass runs on preallocated workspaces — one set of
+activation and backward buffers per ``(batch_size, dtype)``, reused
+across calls via ``out=`` ufuncs/matmuls — instead of allocating ~20
+temporaries per call.  Callers that own a long-lived gradient buffer
+(the engines) pass it as ``grad_out`` to skip the output allocation
+too.  The buffered pass is bit-identical to the naive one: every
+operation, operand order and reduction is unchanged, only the
+destination memory is reused.
+
 Two registry entries mirror the paper's workloads:
 
 * ``resnet32-sim`` — 3 residual blocks, hidden width 64, 10 classes.
@@ -30,7 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.mlcore.losses import accuracy_from_logits, softmax_cross_entropy
+from repro.mlcore.losses import accuracy_from_logits
 from repro.mlcore.params import ParameterLayout
 from repro.rng import make_rng
 
@@ -54,6 +64,79 @@ class ModelConfig:
             raise ConfigurationError("model dimensions must be positive")
         if self.weight_decay < 0:
             raise ConfigurationError("weight_decay must be non-negative")
+
+
+class _BatchWorkspace:
+    """Buffers for a stacked pass over K independent parameter vectors."""
+
+    def __init__(
+        self, config: ModelConfig, k: int, batch: int, dtype: np.dtype
+    ):
+        hidden, classes = config.hidden_dim, config.n_classes
+        self.z_pre = np.empty((k, batch, hidden), dtype=dtype)
+        self.h = [
+            np.empty((k, batch, hidden), dtype=dtype)
+            for _ in range(config.n_blocks + 1)
+        ]
+        self.u_pre = [
+            np.empty((k, batch, hidden), dtype=dtype)
+            for _ in range(config.n_blocks)
+        ]
+        self.u = [
+            np.empty((k, batch, hidden), dtype=dtype)
+            for _ in range(config.n_blocks)
+        ]
+        self.logits = np.empty((k, batch, classes), dtype=dtype)
+        self.row_max = np.empty((k, batch, 1), dtype=dtype)
+        self.shifted = np.empty((k, batch, classes), dtype=dtype)
+        self.sum_exp = np.empty((k, batch, 1), dtype=dtype)
+        self.log_probs = np.empty((k, batch, classes), dtype=dtype)
+        self.dlogits = np.empty((k, batch, classes), dtype=dtype)
+        self.rows = np.arange(batch)
+        self.slices = np.arange(k).reshape(k, 1)
+        self.dh = np.empty((k, batch, hidden), dtype=dtype)
+        self.du = np.empty((k, batch, hidden), dtype=dtype)
+        self.mm = np.empty((k, batch, hidden), dtype=dtype)
+        self.mask = np.empty((k, batch, hidden), dtype=bool)
+
+
+class _Workspace:
+    """Preallocated forward/backward buffers for one ``(batch, dtype)``.
+
+    Holds every ``(batch, hidden)`` / ``(batch, classes)`` array the
+    pass needs; the tiny per-tensor bias reductions still allocate
+    (a few dozen floats) because reusing them would change reduction
+    dtypes in mixed-precision calls.
+    """
+
+    def __init__(self, config: ModelConfig, batch: int, dtype: np.dtype):
+        hidden, classes = config.hidden_dim, config.n_classes
+        self.z_pre = np.empty((batch, hidden), dtype=dtype)
+        self.h = [
+            np.empty((batch, hidden), dtype=dtype)
+            for _ in range(config.n_blocks + 1)
+        ]
+        self.u_pre = [
+            np.empty((batch, hidden), dtype=dtype)
+            for _ in range(config.n_blocks)
+        ]
+        self.u = [
+            np.empty((batch, hidden), dtype=dtype)
+            for _ in range(config.n_blocks)
+        ]
+        self.logits = np.empty((batch, classes), dtype=dtype)
+        # softmax cross-entropy scratch
+        self.row_max = np.empty((batch, 1), dtype=dtype)
+        self.shifted = np.empty((batch, classes), dtype=dtype)
+        self.sum_exp = np.empty((batch, 1), dtype=dtype)
+        self.log_probs = np.empty((batch, classes), dtype=dtype)
+        self.dlogits = np.empty((batch, classes), dtype=dtype)
+        self.rows = np.arange(batch)
+        # backward scratch
+        self.dh = np.empty((batch, hidden), dtype=dtype)
+        self.du = np.empty((batch, hidden), dtype=dtype)
+        self.mm = np.empty((batch, hidden), dtype=dtype)
+        self.mask = np.empty((batch, hidden), dtype=bool)
 
 
 class ResidualMLPClassifier:
@@ -80,6 +163,52 @@ class ResidualMLPClassifier:
         shapes["w_out"] = (config.hidden_dim, config.n_classes)
         shapes["b_out"] = (config.n_classes,)
         self.layout = ParameterLayout(shapes)
+        self._workspaces: dict[tuple[int, str, str], _Workspace] = {}
+        self._decay_scratch: dict[str, np.ndarray] = {}
+        # Weight-decay targets (matrices only), in layout order.
+        self._matrix_slices = tuple(
+            self.layout.slice_of(name)
+            for name in self.layout.names
+            if len(self.layout.shape(name)) > 1
+        )
+        # Flat positions of every bias entry: the fused weight-decay
+        # saves these lanes before the full-vector multiply-add and
+        # restores them after (exact no-op on biases, any float values).
+        self._bias_index = np.concatenate(
+            [
+                np.arange(
+                    self.layout.slice_of(name).start,
+                    self.layout.slice_of(name).stop,
+                )
+                for name in self.layout.names
+                if len(self.layout.shape(name)) == 1
+            ]
+        )
+        # Positional layout for the hot path: tensors are accessed by
+        # index into the views list, not by f-string dict keys.
+        order = {name: position for position, name in enumerate(self.layout.names)}
+        self._pos_w_in = order["w_in"]
+        self._pos_b_in = order["b_in"]
+        self._pos_w_out = order["w_out"]
+        self._pos_b_out = order["b_out"]
+        self._pos_blocks = tuple(
+            (
+                order[f"block{block}/a"],
+                order[f"block{block}/a_bias"],
+                order[f"block{block}/b"],
+                order[f"block{block}/b_bias"],
+            )
+            for block in range(config.n_blocks)
+        )
+        # Views of recently seen parameter/gradient buffers, keyed by
+        # (id, data pointer) of the owning base array.  Entries hold
+        # STRONG references (the views pin their base), so a live key
+        # can never be recycled by a different array — that pinning is
+        # the safety argument, and the LRU caps bound the pinned
+        # memory.  The parameter server's buffer pool keeps the id set
+        # small and stable.
+        self._views_cache: dict[tuple, list] = {}
+        self._stacked_cache: dict[tuple, list] = {}
 
     @property
     def n_parameters(self) -> int:
@@ -116,90 +245,467 @@ class ResidualMLPClassifier:
         return self.layout.pack(tensors, dtype=dtype)
 
     def logits(self, params: np.ndarray, inputs: np.ndarray) -> np.ndarray:
-        """Forward pass only; returns ``(batch, n_classes)`` scores."""
-        activations, _ = self._forward(params, inputs)
-        return activations["logits"]
+        """Forward pass only; returns ``(batch, n_classes)`` scores.
+
+        The result is a fresh array (the internal forward buffers are
+        reused by the next call).
+        """
+        workspace, _ = self._run_forward(
+            params, inputs, self._views_list(params)
+        )
+        return workspace.logits.copy()
 
     def loss_and_grad(
-        self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+        self,
+        params: np.ndarray,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        grad_out: np.ndarray | None = None,
     ) -> tuple[float, np.ndarray]:
         """Mini-batch loss and flat gradient at ``params``.
 
         The returned loss includes the L2 penalty
         ``0.5 * weight_decay * ||weights||^2`` (weight matrices only,
         biases excluded), and the gradient includes its derivative.
-        """
-        tensors = self.layout.views(params)
-        activations, caches = self._forward(params, inputs)
-        data_loss, dlogits = softmax_cross_entropy(activations["logits"], labels)
 
-        grad_vector = self.layout.zeros(dtype=params.dtype)
-        grads = self.layout.views(grad_vector)
-        h_final = caches["h_final"]
-        np.matmul(h_final.T, dlogits, out=grads["w_out"])
-        grads["b_out"][:] = dlogits.sum(axis=0)
-        dh = dlogits @ tensors["w_out"].T
+        ``grad_out`` (optional) receives the gradient in place and is
+        returned; every component is overwritten, so the buffer needs
+        no zeroing between calls.  Without it a fresh vector is
+        allocated — the pure-functional default.
+        """
+        tensors = self._views_list(params)
+        workspace, h_final = self._run_forward(params, inputs, tensors)
+        data_loss, dlogits = self._softmax_loss(workspace, labels)
+
+        if grad_out is None:
+            grad_vector = self.layout.zeros(dtype=params.dtype)
+        else:
+            if grad_out.shape != (self.layout.size,):
+                raise ConfigurationError("grad_out does not match layout")
+            grad_vector = grad_out
+        grads = self._views_list(grad_vector)
+
+        # Reductions write straight into the gradient views only when
+        # the accumulation dtype is unchanged by it (mixed-precision
+        # calls keep the allocate-then-cast order of the naive form).
+        fused_sums = dlogits.dtype == grad_vector.dtype
+
+        np.matmul(h_final.T, dlogits, out=grads[self._pos_w_out])
+        if fused_sums:
+            np.add.reduce(dlogits, axis=0, out=grads[self._pos_b_out])
+        else:
+            grads[self._pos_b_out][:] = dlogits.sum(axis=0)
+        dh = workspace.dh
+        np.matmul(dlogits, tensors[self._pos_w_out].T, out=dh)
 
         scale = self.config.residual_scale
+        du, mm, mask = workspace.du, workspace.mm, workspace.mask
         for block in reversed(range(self.config.n_blocks)):
-            cache = caches[f"block{block}"]
-            h_in, u_pre, u = cache["h_in"], cache["u_pre"], cache["u"]
-            b_mat = tensors[f"block{block}/b"]
-            np.matmul(u.T, dh, out=grads[f"block{block}/b"])
-            grads[f"block{block}/b"] *= scale
-            grads[f"block{block}/b_bias"][:] = dh.sum(axis=0)
-            du_pre = dh @ b_mat.T
-            du_pre *= scale
-            du_pre *= u_pre > 0
-            np.matmul(h_in.T, du_pre, out=grads[f"block{block}/a"])
-            grads[f"block{block}/a_bias"][:] = du_pre.sum(axis=0)
-            dh = dh + du_pre @ tensors[f"block{block}/a"].T
+            pos_a, pos_a_bias, pos_b, pos_b_bias = self._pos_blocks[block]
+            h_in = workspace.h[block]
+            u_pre, u = workspace.u_pre[block], workspace.u[block]
+            np.matmul(u.T, dh, out=grads[pos_b])
+            grads[pos_b] *= scale
+            if fused_sums:
+                np.add.reduce(dh, axis=0, out=grads[pos_b_bias])
+            else:
+                grads[pos_b_bias][:] = dh.sum(axis=0)
+            np.matmul(dh, tensors[pos_b].T, out=du)
+            du *= scale
+            np.greater(u_pre, 0, out=mask)
+            du *= mask
+            np.matmul(h_in.T, du, out=grads[pos_a])
+            if fused_sums:
+                np.add.reduce(du, axis=0, out=grads[pos_a_bias])
+            else:
+                grads[pos_a_bias][:] = du.sum(axis=0)
+            np.matmul(du, tensors[pos_a].T, out=mm)
+            dh += mm
 
-        z_pre = caches["z_pre"]
-        dz = dh
-        dz *= z_pre > 0
-        np.matmul(inputs.T, dz, out=grads["w_in"])
-        grads["b_in"][:] = dz.sum(axis=0)
+        np.greater(workspace.z_pre, 0, out=mask)
+        dh *= mask
+        np.matmul(inputs.T, dh, out=grads[self._pos_w_in])
+        if fused_sums:
+            np.add.reduce(dh, axis=0, out=grads[self._pos_b_in])
+        else:
+            grads[self._pos_b_in][:] = dh.sum(axis=0)
 
         reg_loss = self._apply_weight_decay(params, grad_vector)
         return data_loss + reg_loss, grad_vector
+
+    def loss_and_grad_batch(
+        self,
+        params_stack: np.ndarray,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        grad_out: np.ndarray | None = None,
+    ) -> tuple[list[float], np.ndarray]:
+        """K independent gradient evaluations as one stacked pass.
+
+        ``params_stack`` is ``(K, n_parameters)`` — one flat parameter
+        vector per slice; ``inputs`` is ``(K, batch, input_dim)`` and
+        ``labels`` ``(K, batch)``.  Returns per-slice losses and a
+        ``(K, n_parameters)`` gradient stack.
+
+        Every operation is the stacked (leading-``K``-axis) form of the
+        single-vector pass: numpy applies matmuls and reductions per
+        slice with the same accumulation order, so slice ``k`` is
+        bit-identical to ``loss_and_grad(params_stack[k], inputs[k],
+        labels[k])``.  The asynchronous engines batch all in-flight
+        workers' pending gradients through this — one dispatch per
+        operation per ``n_workers`` simulated updates instead of one
+        per update.
+        """
+        k, batch = inputs.shape[0], inputs.shape[1]
+        if params_stack.shape != (k, self.layout.size):
+            raise ConfigurationError("params_stack does not match layout")
+        workspace = self._batch_workspace(k, batch, inputs, params_stack)
+        tensors = self._stacked_views(params_stack, cacheable=True)
+
+        # Forward (stacked mirror of _run_forward).
+        z_pre = workspace.z_pre
+        np.matmul(inputs, tensors[self._pos_w_in][0], out=z_pre)
+        z_pre += tensors[self._pos_b_in][1]
+        np.maximum(z_pre, 0.0, out=workspace.h[0])
+        h = workspace.h[0]
+        scale = self.config.residual_scale
+        for block in range(self.config.n_blocks):
+            pos_a, pos_a_bias, pos_b, pos_b_bias = self._pos_blocks[block]
+            u_pre = workspace.u_pre[block]
+            np.matmul(h, tensors[pos_a][0], out=u_pre)
+            u_pre += tensors[pos_a_bias][1]
+            u = workspace.u[block]
+            np.maximum(u_pre, 0.0, out=u)
+            nxt = workspace.h[block + 1]
+            np.matmul(u, tensors[pos_b][0], out=nxt)
+            nxt *= scale
+            nxt += h
+            nxt += tensors[pos_b_bias][1]
+            h = nxt
+        h_final = h
+        np.matmul(h, tensors[self._pos_w_out][0], out=workspace.logits)
+        workspace.logits += tensors[self._pos_b_out][1]
+
+        # Softmax cross-entropy (stacked mirror of _softmax_loss).
+        logits = workspace.logits
+        np.maximum.reduce(
+            logits, axis=2, keepdims=True, out=workspace.row_max
+        )
+        np.subtract(logits, workspace.row_max, out=workspace.shifted)
+        np.exp(workspace.shifted, out=workspace.dlogits)
+        np.add.reduce(
+            workspace.dlogits, axis=2, keepdims=True, out=workspace.sum_exp
+        )
+        np.log(workspace.sum_exp, out=workspace.sum_exp)
+        np.subtract(
+            workspace.shifted, workspace.sum_exp, out=workspace.log_probs
+        )
+        rows, slices = workspace.rows, workspace.slices
+        picked = workspace.log_probs[slices, rows, labels]
+        row_sums = np.add.reduce(picked, axis=1)
+        # float32 sum / python int divides in float32 — exactly what
+        # ndarray.mean does for float inputs.
+        losses = [
+            float(-(picked.dtype.type(row_sums[index] / batch)))
+            for index in range(k)
+        ]
+        dlogits = workspace.dlogits
+        np.exp(workspace.log_probs, out=dlogits)
+        dlogits[slices, rows, labels] -= 1.0
+        dlogits /= batch
+
+        # Backward (stacked mirror of the single-vector backward).
+        if grad_out is None:
+            grads_stack = np.empty_like(params_stack)
+            grads = self._stacked_views(grads_stack)
+        else:
+            if grad_out.shape != params_stack.shape:
+                raise ConfigurationError("grad_out does not match the stack")
+            grads_stack = grad_out
+            grads = self._stacked_views(grads_stack, cacheable=True)
+        fused_sums = dlogits.dtype == grads_stack.dtype
+
+        def transposed(stack):
+            return stack.transpose(0, 2, 1)
+
+        np.matmul(
+            transposed(h_final), dlogits, out=grads[self._pos_w_out][0]
+        )
+        if fused_sums:
+            np.add.reduce(dlogits, axis=1, out=grads[self._pos_b_out][0])
+        else:
+            grads[self._pos_b_out][0][:] = dlogits.sum(axis=1)
+        dh = workspace.dh
+        np.matmul(
+            dlogits, transposed(tensors[self._pos_w_out][0]), out=dh
+        )
+
+        du, mm, mask = workspace.du, workspace.mm, workspace.mask
+        for block in reversed(range(self.config.n_blocks)):
+            pos_a, pos_a_bias, pos_b, pos_b_bias = self._pos_blocks[block]
+            h_in = workspace.h[block]
+            u_pre, u = workspace.u_pre[block], workspace.u[block]
+            grad_b = grads[pos_b][0]
+            np.matmul(transposed(u), dh, out=grad_b)
+            grad_b *= scale
+            if fused_sums:
+                np.add.reduce(dh, axis=1, out=grads[pos_b_bias][0])
+            else:
+                grads[pos_b_bias][0][:] = dh.sum(axis=1)
+            np.matmul(dh, transposed(tensors[pos_b][0]), out=du)
+            du *= scale
+            np.greater(u_pre, 0, out=mask)
+            du *= mask
+            np.matmul(transposed(h_in), du, out=grads[pos_a][0])
+            if fused_sums:
+                np.add.reduce(du, axis=1, out=grads[pos_a_bias][0])
+            else:
+                grads[pos_a_bias][0][:] = du.sum(axis=1)
+            np.matmul(du, transposed(tensors[pos_a][0]), out=mm)
+            dh += mm
+
+        np.greater(workspace.z_pre, 0, out=mask)
+        dh *= mask
+        np.matmul(transposed(inputs), dh, out=grads[self._pos_w_in][0])
+        if fused_sums:
+            np.add.reduce(dh, axis=1, out=grads[self._pos_b_in][0])
+        else:
+            grads[self._pos_b_in][0][:] = dh.sum(axis=1)
+
+        # Weight decay: stacked multiply-add with exact bias restore,
+        # per-slice L2 terms in the per-tensor accumulation order.
+        decay = self.config.weight_decay
+        if decay != 0.0:
+            saved_bias = grads_stack[:, self._bias_index]
+            scratch_key = f"{params_stack.dtype.char}/{k}"
+            scratch = self._decay_scratch.get(scratch_key)
+            if scratch is None:
+                scratch = np.empty_like(params_stack)
+                self._decay_scratch[scratch_key] = scratch
+            np.multiply(params_stack, decay, out=scratch)
+            grads_stack += scratch
+            grads_stack[:, self._bias_index] = saved_bias
+            for index in range(k):
+                row = params_stack[index]
+                reg_loss = 0.0
+                for view in self._matrix_slices:
+                    weights = row[view]
+                    reg_loss += 0.5 * decay * float(weights @ weights)
+                losses[index] += reg_loss
+        return losses, grads_stack
+
+    def _stacked_views(
+        self, stack: np.ndarray, cacheable: bool = False
+    ) -> list[tuple]:
+        """Per-tensor stacked views of a ``(K, size)`` buffer.
+
+        Entry ``position`` is ``(main, broadcast)``: matrices get
+        ``((K, s0, s1), None)``; biases get ``((K, n), (K, 1, n))`` —
+        the flat form for reductions, the broadcast form for the
+        forward bias adds.  Pass ``cacheable=True`` only for reused,
+        caller-stable buffers (the batcher's staging matrices); cached
+        entries pin their buffer, so per-call transients must not be
+        cached.
+        """
+        if cacheable:
+            key = (id(stack), stack.__array_interface__["data"][0])
+            views = self._stacked_cache.get(key)
+            if views is not None:
+                return views
+        k = stack.shape[0]
+        views = []
+        for _, view_slice, shape in self.layout.view_specs:
+            window = stack[:, view_slice]
+            if len(shape) > 1:
+                views.append((window.reshape((k,) + shape), None))
+            else:
+                views.append((window, window.reshape((k, 1) + shape)))
+        if cacheable:
+            cache = self._stacked_cache
+            if len(cache) >= 16:
+                cache.pop(next(iter(cache)))
+            cache[key] = views
+        return views
+
+    def _batch_workspace(
+        self,
+        k: int,
+        batch: int,
+        inputs: np.ndarray,
+        params_stack: np.ndarray,
+    ) -> _BatchWorkspace:
+        """The cached stacked workspace for ``(K, batch, dtypes)``."""
+        key = (-k, batch, inputs.dtype.char, params_stack.dtype.char)
+        workspace = self._workspaces.get(key)
+        if workspace is None:
+            dtype = np.result_type(inputs.dtype, params_stack.dtype)
+            workspace = _BatchWorkspace(self.config, k, batch, dtype)
+            self._workspaces[key] = workspace
+        return workspace
 
     def evaluate(
         self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
     ) -> float:
         """Top-1 accuracy of ``params`` on ``(inputs, labels)``."""
-        return accuracy_from_logits(self.logits(params, inputs), labels)
+        workspace, _ = self._run_forward(
+            params, inputs, self._views_list(params)
+        )
+        return accuracy_from_logits(workspace.logits, labels)
 
     def _forward(self, params: np.ndarray, inputs: np.ndarray):
-        tensors = self.layout.views(params)
-        caches: dict[str, dict | np.ndarray] = {}
-        z_pre = inputs @ tensors["w_in"] + tensors["b_in"]
-        caches["z_pre"] = z_pre
-        h = np.maximum(z_pre, 0.0)
+        """Compatibility wrapper: ``(activations, caches)`` like the
+        pre-workspace implementation (arrays are reused buffers)."""
+        workspace, h_final = self._run_forward(
+            params, inputs, self._views_list(params)
+        )
+        caches: dict[str, dict | np.ndarray] = {"z_pre": workspace.z_pre}
+        for block in range(self.config.n_blocks):
+            caches[f"block{block}"] = {
+                "h_in": workspace.h[block],
+                "u_pre": workspace.u_pre[block],
+                "u": workspace.u[block],
+            }
+        caches["h_final"] = h_final
+        return {"logits": workspace.logits}, caches
+
+    def _run_forward(
+        self,
+        params: np.ndarray,
+        inputs: np.ndarray,
+        tensors: list[np.ndarray],
+    ) -> tuple[_Workspace, np.ndarray]:
+        """Buffered forward pass; returns ``(workspace, h_final)``.
+
+        Operation-for-operation identical to the allocating version
+        (``x @ W + b`` becomes matmul-into-buffer plus in-place add,
+        which produces the same bits), so fixed-seed runs are unchanged.
+        """
+        workspace = self._workspace(inputs, params)
+        z_pre = workspace.z_pre
+        np.matmul(inputs, tensors[self._pos_w_in], out=z_pre)
+        z_pre += tensors[self._pos_b_in]
+        np.maximum(z_pre, 0.0, out=workspace.h[0])
+        h = workspace.h[0]
         scale = self.config.residual_scale
         for block in range(self.config.n_blocks):
-            u_pre = h @ tensors[f"block{block}/a"] + tensors[f"block{block}/a_bias"]
-            u = np.maximum(u_pre, 0.0)
-            caches[f"block{block}"] = {"h_in": h, "u_pre": u_pre, "u": u}
-            h = h + scale * (u @ tensors[f"block{block}/b"]) + tensors[
-                f"block{block}/b_bias"
+            pos_a, pos_a_bias, pos_b, pos_b_bias = self._pos_blocks[block]
+            u_pre = workspace.u_pre[block]
+            np.matmul(h, tensors[pos_a], out=u_pre)
+            u_pre += tensors[pos_a_bias]
+            u = workspace.u[block]
+            np.maximum(u_pre, 0.0, out=u)
+            nxt = workspace.h[block + 1]
+            np.matmul(u, tensors[pos_b], out=nxt)
+            nxt *= scale
+            nxt += h
+            nxt += tensors[pos_b_bias]
+            h = nxt
+        np.matmul(h, tensors[self._pos_w_out], out=workspace.logits)
+        workspace.logits += tensors[self._pos_b_out]
+        return workspace, h
+
+    def _softmax_loss(
+        self, workspace: _Workspace, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Buffered softmax cross-entropy on ``workspace.logits``.
+
+        Same op sequence as :func:`repro.mlcore.losses.softmax_cross_entropy`
+        (log-sum-exp trick, mean loss, ``1/batch``-scaled gradient).
+        """
+        logits = workspace.logits
+        np.maximum.reduce(
+            logits, axis=1, keepdims=True, out=workspace.row_max
+        )
+        np.subtract(logits, workspace.row_max, out=workspace.shifted)
+        np.exp(workspace.shifted, out=workspace.dlogits)  # scratch use
+        np.add.reduce(
+            workspace.dlogits, axis=1, keepdims=True, out=workspace.sum_exp
+        )
+        np.log(workspace.sum_exp, out=workspace.sum_exp)
+        np.subtract(workspace.shifted, workspace.sum_exp, out=workspace.log_probs)
+        rows = workspace.rows
+        loss = float(-workspace.log_probs[rows, labels].mean())
+        np.exp(workspace.log_probs, out=workspace.dlogits)
+        workspace.dlogits[rows, labels] -= 1.0
+        workspace.dlogits /= logits.shape[0]
+        return loss, workspace.dlogits
+
+    def _workspace(self, inputs: np.ndarray, params: np.ndarray) -> _Workspace:
+        """The cached workspace for this batch size and dtype pair."""
+        key = (inputs.shape[0], inputs.dtype.char, params.dtype.char)
+        workspace = self._workspaces.get(key)
+        if workspace is None:
+            dtype = np.result_type(inputs.dtype, params.dtype)
+            workspace = _Workspace(self.config, inputs.shape[0], dtype)
+            self._workspaces[key] = workspace
+        return workspace
+
+    def _views_list(self, vector: np.ndarray) -> list[np.ndarray]:
+        """Positional tensor views of a flat vector, cached per buffer.
+
+        Cache entries are keyed by (id, data pointer) of the owning
+        base array and hold the views — which pin the base alive, so a
+        cached key can never be recycled by a different live array.
+        The parameter server's copy-on-write pool cycles a small stable
+        set of buffers, which makes this cache hit on nearly every
+        call; an LRU cap bounds the pinned memory.
+        """
+        if vector.ndim != 1 or vector.shape[0] != self.layout.size:
+            raise ConfigurationError(
+                f"vector has shape {vector.shape}, "
+                f"expected ({self.layout.size},)"
+            )
+        if not vector.flags.c_contiguous:
+            # Rare path (works like the historical layout.views): no
+            # caching — the pointer+id key assumes contiguous layout.
+            return [
+                vector[view_slice].reshape(shape)
+                for _, view_slice, shape in self.layout.view_specs
             ]
-        caches["h_final"] = h
-        logits = h @ tensors["w_out"] + tensors["b_out"]
-        return {"logits": logits}, caches
+        base = vector if vector.base is None else vector.base
+        # The data pointer disambiguates different windows into the
+        # same base (e.g. rows of a staging matrix).  Entries pin their
+        # base (views hold it alive), so a cached key can never be
+        # recycled by a different live array; a small LRU cap bounds
+        # the pinned memory.
+        key = (id(base), vector.__array_interface__["data"][0])
+        cache = self._views_cache
+        views = cache.get(key)
+        if views is not None:
+            return views
+        views = [
+            vector[view_slice].reshape(shape)
+            for _, view_slice, shape in self.layout.view_specs
+        ]
+        if len(cache) >= 32:
+            cache.pop(next(iter(cache)))
+        cache[key] = views
+        return views
 
     def _apply_weight_decay(self, params: np.ndarray, grad: np.ndarray) -> float:
-        """Add L2 gradient in place; return the L2 loss contribution."""
+        """Add L2 gradient in place; return the L2 loss contribution.
+
+        Fused form: one full-vector multiply + add, with the bias lanes
+        saved before and restored after — an exact no-op on biases for
+        any float values (including signed zeros), and elementwise
+        identical to the per-tensor loop on the weight lanes.  The L2
+        loss term keeps the per-tensor accumulation order.
+        """
         decay = self.config.weight_decay
         if decay == 0.0:
             return 0.0
+        scratch = self._decay_scratch.get(params.dtype.char)
+        if scratch is None:
+            scratch = np.empty(self.layout.size, dtype=params.dtype)
+            self._decay_scratch[params.dtype.char] = scratch
+        saved_bias = grad[self._bias_index]
+        np.multiply(params, decay, out=scratch)
+        grad += scratch
+        grad[self._bias_index] = saved_bias
         reg_loss = 0.0
-        for name in self.layout.names:
-            if len(self.layout.shape(name)) == 1:
-                continue  # biases are not decayed
-            view = self.layout.slice_of(name)
-            grad[view] += decay * params[view]
-            reg_loss += 0.5 * decay * float(params[view] @ params[view])
+        for view in self._matrix_slices:
+            weights = params[view]
+            reg_loss += 0.5 * decay * float(weights @ weights)
         return reg_loss
 
     def __repr__(self) -> str:

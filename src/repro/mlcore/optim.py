@@ -162,6 +162,29 @@ class MomentumSGD:
             raise ConfigurationError("momentum must be in [0, 1)")
         self.momentum = momentum
         self.velocity = np.zeros(size, dtype=dtype)
+        self._scaled_grad = np.empty_like(self.velocity)
+
+    def advance(
+        self,
+        grad: np.ndarray,
+        lr: float,
+        momentum: float | None = None,
+    ) -> np.ndarray:
+        """Update and return the velocity buffer (no parameter write).
+
+        Fully in place: the ``lr * grad`` product lands in a
+        preallocated scratch buffer, so the hot path allocates nothing.
+        The caller applies ``params += velocity`` itself (in place, or
+        out-of-place for the parameter server's copy-on-write push).
+        """
+        coefficient = self.momentum if momentum is None else momentum
+        self.velocity *= coefficient
+        if grad.dtype == self.velocity.dtype:
+            np.multiply(grad, lr, out=self._scaled_grad)
+            self.velocity -= self._scaled_grad
+        else:
+            self.velocity -= lr * grad
+        return self.velocity
 
     def step(
         self,
@@ -171,10 +194,7 @@ class MomentumSGD:
         momentum: float | None = None,
     ) -> None:
         """Apply one update in place to ``params``."""
-        coefficient = self.momentum if momentum is None else momentum
-        self.velocity *= coefficient
-        self.velocity -= lr * grad
-        params += self.velocity
+        params += self.advance(grad, lr, momentum=momentum)
 
     def state(self) -> dict[str, np.ndarray | float]:
         """Snapshot of the optimizer state (copies, checkpoint-safe)."""

@@ -43,6 +43,12 @@ class ParameterLayout:
             self._slices[name] = slice(offset, offset + size)
             offset += size
         self._size = offset
+        # Precomputed (name, slice, shape) rows: views() runs once per
+        # gradient evaluation, so it must not re-derive these per call.
+        self._view_specs = tuple(
+            (name, self._slices[name], self._shapes[name])
+            for name in self._shapes
+        )
 
     @property
     def size(self) -> int:
@@ -53,6 +59,11 @@ class ParameterLayout:
     def names(self) -> tuple[str, ...]:
         """Tensor names in slice order."""
         return tuple(self._shapes)
+
+    @property
+    def view_specs(self) -> tuple[tuple[str, slice, tuple[int, ...]], ...]:
+        """Precomputed ``(name, slice, shape)`` rows in slice order."""
+        return self._view_specs
 
     def shape(self, name: str) -> tuple[int, ...]:
         """Shape of tensor ``name``."""
@@ -78,9 +89,16 @@ class ParameterLayout:
         return vector[self._slices[name]].reshape(self._shapes[name])
 
     def views(self, vector: np.ndarray) -> dict[str, np.ndarray]:
-        """Reshaped views of every tensor in ``vector``."""
+        """Reshaped views of every tensor in ``vector``.
+
+        Hot path (one call per gradient evaluation): a single shape
+        check, then direct slice+reshape from the precomputed specs.
+        """
         self._check(vector)
-        return {name: self.view(vector, name) for name in self._shapes}
+        return {
+            name: vector[view_slice].reshape(shape)
+            for name, view_slice, shape in self._view_specs
+        }
 
     def pack(
         self,

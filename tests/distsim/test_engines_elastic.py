@@ -74,6 +74,57 @@ class TestBSPWithEvictions:
         assert small.clock.now < big.clock.now
 
 
+class TestASPElasticShrinkMidRun:
+    """Elastic shrink during an ASP tail (fleet-style preemption)."""
+
+    def test_stop_hook_eviction_completes_with_remaining_workers(self):
+        session = make_session(n_workers=4, total_steps=400)
+        evicted_at = {}
+
+        def shrink(current):
+            if current.step == 10 and current.cluster.is_active(0):
+                current.cluster.evict(0)
+                evicted_at["time"] = current.clock.now
+            return None
+
+        ASPEngine().run(session, steps=80, stop=shrink)
+        assert session.step == 80  # remaining workers absorb the budget
+        late_pushes = [
+            worker
+            for time, worker, _ in session.telemetry.worker_durations
+            if worker == 0 and time > evicted_at["time"]
+        ]
+        assert not late_pushes, "evicted worker kept pushing updates"
+
+    def test_pull_and_schedule_skips_evicted_worker(self):
+        from repro.distsim.events import EventQueue
+
+        session = make_session(n_workers=4)
+        session.cluster.evict(3)
+        queue, states = EventQueue(), {}
+        ASPEngine()._pull_and_schedule(session, queue, states, 3, 32)
+        assert len(queue) == 0
+        assert 3 not in states
+
+    def test_shrink_then_restore_next_segment(self):
+        session = make_session(n_workers=4, total_steps=400)
+
+        def shrink(current):
+            if current.step == 8 and current.cluster.is_active(1):
+                current.cluster.evict(1)
+            return None
+
+        engine = ASPEngine()
+        engine.run(session, steps=40, stop=shrink)
+        session.cluster.restore(1)
+        engine.run(session, steps=40)
+        workers_seen = {
+            worker
+            for _, worker, _ in session.telemetry.worker_durations[-30:]
+        }
+        assert 1 in workers_seen  # restored worker rejoined
+
+
 class TestASPWithEvictions:
     def test_evicted_worker_events_are_skipped(self):
         session = make_session(n_workers=4)

@@ -17,12 +17,72 @@ def make_ps(size=10, n_shards=3, momentum=0.9) -> ShardedParameterServer:
     return ShardedParameterServer(layout, initial, n_shards, momentum=momentum)
 
 
-def test_pull_returns_copy_and_version():
+def test_pull_returns_frozen_snapshot_and_version():
     ps = make_ps()
     params, version = ps.pull()
     assert version == 0
-    params[0] = 999.0
-    assert ps.peek()[0] == 0.0  # pull must not alias live params
+    with pytest.raises(ValueError):
+        params[0] = 999.0  # snapshots are read-only views
+    ps.push(np.ones(10), lr=0.1)
+    # Copy-on-write: the push must not leak into the outstanding snapshot.
+    assert np.array_equal(params, np.arange(10, dtype=np.float64))
+    assert not np.array_equal(ps.peek(), params)
+
+
+def test_snapshots_stay_frozen_across_many_pushes():
+    ps = make_ps(momentum=0.0)
+    snapshots = []
+    for _ in range(4):
+        snapshots.append(ps.pull())
+        ps.push(np.ones(10), lr=0.1)
+    for age, (snapshot, version) in enumerate(snapshots):
+        # Each snapshot shows the value as of its pull version.
+        expected = np.arange(10, dtype=np.float64) - 0.1 * age
+        assert np.allclose(snapshot, expected)
+        assert version == age
+
+
+def test_push_without_outstanding_snapshot_mutates_in_place():
+    ps = make_ps()
+    buffer = ps.peek()
+    ps.push(np.ones(10), lr=0.1)
+    assert ps.peek() is buffer  # no copy without outstanding pulls
+
+
+def test_push_with_outstanding_snapshot_is_copy_on_write():
+    ps = make_ps()
+    snapshot, _ = ps.pull()
+    buffer = ps.peek()
+    ps.push(np.ones(10), lr=0.1)
+    assert ps.peek() is not buffer  # snapshot pinned the old buffer
+    assert snapshot.base is buffer or snapshot is buffer  # old values intact
+    # The second push (no pull in between) is in place again.
+    replaced = ps.peek()
+    ps.push(np.ones(10), lr=0.1)
+    assert ps.peek() is replaced
+
+
+def test_cow_and_copy_push_paths_are_bit_identical():
+    cow = make_ps(momentum=0.9)
+    reference = make_ps(momentum=0.9)
+    rng = np.random.default_rng(7)
+    for _ in range(5):
+        cow.pull()  # force the copy-on-write path on every push
+        grad = rng.normal(size=10)
+        cow.push(grad, lr=0.05)
+        reference.push(grad, lr=0.05)  # in-place path
+    assert np.array_equal(cow.peek(), reference.peek())
+
+
+def test_load_state_detaches_outstanding_snapshots():
+    ps = make_ps()
+    saved = ps.state()
+    snapshot, _ = ps.pull()
+    before = snapshot.copy()
+    ps.push(np.ones(10), lr=0.1)
+    ps.load_state(saved)
+    ps.push(np.ones(10), lr=0.1)
+    assert np.array_equal(snapshot, before)
 
 
 def test_push_increments_version():
@@ -92,6 +152,25 @@ def test_every_index_owned_by_exactly_one_shard(size, n_shards):
     assert max(owners) == ps.n_shards - 1
     # ownership is monotone non-decreasing over the flat vector
     assert owners == sorted(owners)
+
+
+@given(
+    st.integers(min_value=1, max_value=257),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=50)
+def test_shard_of_bisect_matches_linear_scan(size, n_shards):
+    """The bisect lookup equals the O(n) scan on uneven layouts."""
+    ps = make_ps(size=size, n_shards=min(n_shards, size))
+
+    def linear(index):
+        for shard, (lo, hi) in enumerate(ps.shard_bounds):
+            if lo <= index < hi:
+                return shard
+        raise AssertionError("shards do not cover the vector")
+
+    for index in range(size):
+        assert ps.shard_of(index) == linear(index)
 
 
 def test_shard_of_out_of_range():

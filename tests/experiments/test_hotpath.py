@@ -1,0 +1,89 @@
+"""Tests for the hot-path benchmark harness (no full benchmark runs)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.hotpath import (
+    BENCH_ROWS,
+    FULL_STEPS,
+    QUICK_STEPS,
+    bench_engine,
+    check_regression,
+    render_hotpath_report,
+    speedup_payload,
+)
+
+
+def payload(scale: float = 1.0, calibration: float = 100.0) -> dict:
+    return {
+        "version": 1,
+        "quick": True,
+        "workload": {
+            "model": "resnet32-sim",
+            "dataset": "cifar10-sim",
+            "n_workers": 8,
+            "batch_size": 128,
+        },
+        "engines": {
+            name: {
+                "steps": 100,
+                "batch_size": BENCH_ROWS[name][1],
+                "steps_per_sec": base * scale,
+                "elapsed_s": 100 / (base * scale),
+            }
+            for name, base in (("bsp", 2000.0), ("asp", 1000.0))
+        },
+        "fig5b_cell_s": 0.5 / scale,
+        "calibration": calibration,
+        "machine": {"python": "3", "numpy": "2", "platform": "test"},
+    }
+
+
+def test_every_row_has_a_budget():
+    assert set(FULL_STEPS) == set(BENCH_ROWS)
+    assert set(QUICK_STEPS) == set(BENCH_ROWS)
+    assert all(QUICK_STEPS[name] <= FULL_STEPS[name] for name in BENCH_ROWS)
+
+
+def test_bench_engine_measures_steps():
+    result = bench_engine("asp", steps=24, repeats=1, batch_size=16)
+    assert result["steps"] == 24
+    assert result["steps_per_sec"] > 0
+    assert result["batch_size"] == 16
+
+
+def test_bench_engine_validation():
+    with pytest.raises(ConfigurationError):
+        bench_engine("raft", steps=10)
+    with pytest.raises(ConfigurationError):
+        bench_engine("asp", steps=0)
+
+
+def test_check_regression_passes_on_equal_machine_relative():
+    # Half the steps/sec on half the calibration = same machine-relative.
+    current = payload(scale=0.5, calibration=50.0)
+    assert check_regression(current, payload()) == []
+
+
+def test_check_regression_flags_real_drop():
+    current = payload(scale=0.5)  # same calibration, half the speed
+    messages = check_regression(current, payload(), tolerance=0.25)
+    assert len(messages) == 2
+    assert any("asp" in message for message in messages)
+
+
+def test_check_regression_reads_speedup_artifacts():
+    artifact = speedup_payload(payload(scale=0.5), payload())
+    assert check_regression(payload(), artifact) == []
+
+
+def test_speedup_payload_ratios():
+    artifact = speedup_payload(payload(), payload(scale=2.0))
+    assert artifact["speedup"]["asp"] == pytest.approx(2.0)
+    assert artifact["speedup"]["fig5b_cell"] == pytest.approx(2.0)
+    assert "baseline" in artifact and "optimized" in artifact
+
+
+def test_render_report_mentions_every_row():
+    text = render_hotpath_report(payload())
+    assert "asp" in text and "fig5b" in text and "calibration" in text
