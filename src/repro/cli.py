@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core.search import OfflineTimingSearch, SearchConfig
+from repro.errors import ConfigurationError
 from repro.experiments import (
     ARTIFACTS,
     SETUPS,
@@ -54,7 +56,16 @@ from repro.experiments.hotpath import (
     write_payload,
 )
 from repro.experiments.setups import scaled_job
-from repro.fleet import FLEET_SCENARIOS, SCHEDULERS, SYNC_POLICIES, load_trace
+from repro.fleet import (
+    FLEET_SCENARIOS,
+    RESIM_MODES,
+    SCHEDULERS,
+    SYNC_POLICIES,
+    FleetConfig,
+    FleetSimulator,
+    PolicyStore,
+    load_trace,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -163,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seeds per cell for the --tune confidence intervals "
         f"(default {DEFAULT_TUNING_SEEDS}; requires --tune)",
+    )
+    fleet.add_argument(
+        "--resim",
+        default="exact",
+        choices=sorted(RESIM_MODES),
+        help="preempted ASP-tail timeline model: 'exact' re-simulates "
+        "the tail on the changed worker set, 'stretch' is the legacy "
+        "linear n/(n-k) model",
+    )
+    fleet.add_argument(
+        "--policy-store",
+        default=None,
+        metavar="PATH",
+        help="persist the per-class policy store as JSON: load it (if "
+        "present) to warm-start recurring classes, save it back after "
+        "the run; runs a single stream, so requires one --scheduler "
+        "and either --tune (tune that stream in place) or one --policy",
     )
 
     bench = sub.add_parser(
@@ -308,6 +336,8 @@ def _cmd_fleet(args) -> int:
     # A trace replaces the scenario stream entirely; label the run (and
     # its cache keys) accordingly instead of with the unused scenario.
     scenario = "trace" if trace is not None else args.scenario
+    if args.policy_store:
+        return _cmd_fleet_store(args, scenario, trace)
     if args.tune:
         return _cmd_fleet_tune(args, scenario, trace)
     schedulers = (
@@ -329,12 +359,112 @@ def _cmd_fleet(args) -> int:
         n_jobs=args.jobs,
         trace=trace,
         jobs=args.procs,
+        resim=args.resim,
     )
     print(render_report(fleet_report(grid, scenario)))
     target = write_fleet_summary(
         grid, scenario, args.scale, args.seed, path=args.out
     )
     print(f"\nfleet summary written to {target}")
+    return 0
+
+
+def _cmd_fleet_store(args, scenario: str, trace) -> int:
+    """The ``fleet --policy-store`` path: one warm-startable stream.
+
+    Loads the persisted :class:`~repro.fleet.PolicyStore` (when the
+    file exists), serves a *single* stream against it — with ``--tune``
+    the stream searches un-tuned classes in place, without it the
+    stream simply reuses whatever the store already knows (the paper's
+    ``(Yes, 0, r)`` recurrence setting) — and saves the updated store
+    back.  Warm-started runs depend on the store's state, so this path
+    bypasses the experiment cache and always simulates.
+    """
+    if args.slo:
+        scheduler = "slo"
+    elif args.scheduler != "all":
+        scheduler = args.scheduler
+    else:
+        print(
+            "error: --policy-store runs a single stream; pick one "
+            "--scheduler (or --slo)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.tune:
+        if args.policy not in ("all", "sync-switch"):
+            print(
+                "error: --policy-store --tune searches sync-switch "
+                f"streams; --policy {args.policy} does not combine",
+                file=sys.stderr,
+            )
+            return 2
+        policy = "sync-switch"
+    elif args.policy != "all":
+        policy = args.policy
+    else:
+        print(
+            "error: --policy-store without --tune needs one --policy "
+            "for the stream",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds is not None:
+        print(
+            "error: --seeds controls the --tune comparison grid and "
+            "does not combine with --policy-store (use --seed)",
+            file=sys.stderr,
+        )
+        return 2
+    store_path = Path(args.policy_store)
+    if store_path.exists():
+        try:
+            store = PolicyStore.load(store_path, scale=args.scale)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        store = PolicyStore()
+    warm_classes = len(store.report())
+    simulator = FleetSimulator(
+        FleetConfig(
+            scenario=scenario,
+            scheduler=scheduler,
+            sync_policy=policy,
+            seed=args.seed,
+            scale=args.scale,
+            n_jobs=args.jobs,
+            trace=trace,
+            tune=args.tune,
+            resim=args.resim,
+        ),
+        store=store,
+    )
+    summary = simulator.run()
+    print(render_report(fleet_report({(scheduler, policy): summary}, scenario)))
+    print(
+        f"\npolicy store: {warm_classes} warm class(es) loaded, "
+        f"{len(store.report())} persisted"
+    )
+    for row in store.report():
+        realized = row["realized_service_mean_s"]
+        print(
+            f"  {row['job_class']}: {row['percent']:g}% BSP, "
+            f"{row['recurrences']} recurrence(s), "
+            f"realized savings {row['realized_savings_s']:.1f}s"
+            + (
+                f", realized service {realized:.1f}s"
+                if realized is not None
+                else ""
+            )
+        )
+    target = store.save(store_path, scale=args.scale)
+    print(f"policy store written to {target}")
+    out = write_fleet_summary(
+        {(scheduler, policy): summary}, scenario, args.scale, args.seed,
+        path=args.out,
+    )
+    print(f"fleet summary written to {out}")
     return 0
 
 
@@ -377,6 +507,7 @@ def _cmd_fleet_tune(args, scenario: str, trace) -> int:
         n_jobs=args.jobs,
         trace=trace,
         jobs=args.procs,
+        resim=args.resim,
     )
     payload = tuning_summary_payload(
         grid, (scenario,), seeds, args.scale, scheduler

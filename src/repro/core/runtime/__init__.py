@@ -4,12 +4,14 @@ from repro.core.runtime.actuator import ParallelActuator, SequentialActuator
 from repro.core.runtime.checkpoint import Checkpoint, CheckpointStore
 from repro.core.runtime.controller import JobResult, SyncSwitchController
 from repro.core.runtime.detector import StragglerDetector
+from repro.core.runtime.elastic import ElasticTrainingRun
 from repro.core.runtime.hooks import HookManager, NodeHook
 from repro.core.runtime.profiler import ThroughputProfiler
 
 __all__ = [
     "Checkpoint",
     "CheckpointStore",
+    "ElasticTrainingRun",
     "HookManager",
     "JobResult",
     "NodeHook",

@@ -9,6 +9,7 @@ session; the trainer sequences engines over plan segments.
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import Callable, Protocol
 
@@ -229,6 +230,34 @@ class TrainingSession:
             self.async_switch_step = self.step
         if momentum_schedule is not None:
             self.momentum_schedule = momentum_schedule
+
+    def fork(self) -> "TrainingSession":
+        """An exact, independent copy of this session's mutable state.
+
+        The returned session continues bit-identically to this one: the
+        parameter server, optimizer slots, clock, telemetry, tracker
+        and — crucially — every RNG stream (data index streams, chunked
+        jitter buffers) are deep-copied at their exact positions.  The
+        immutable substrate (job config, model, dataset, timing model,
+        straggler schedule) is shared, not copied: the model's scratch
+        workspaces and the schedule's query memos are value-stable, so
+        sharing them never perturbs either run.
+
+        The session-level primitive behind
+        :meth:`repro.core.runtime.elastic.ElasticTrainingRun.fork`
+        (which copies the surrounding run state the same way, sharing
+        the same substrate objects).
+        """
+        memo: dict[int, object] = {}
+        for shared in (
+            self.job,
+            self.model,
+            self.dataset,
+            self.timing,
+            self.stragglers,
+        ):
+            memo[id(shared)] = shared
+        return copy.deepcopy(self, memo)
 
 
 class GradientBatcher:

@@ -54,9 +54,13 @@ class DistributedTrainer:
         self.timing = timing_for(job.model, self.cluster.spec.gpu)
 
         schedule = stragglers or StragglerSchedule()
+        # Kept separately so elastic re-simulation can re-slice the
+        # external (fleet-contention) part of the schedule mid-run and
+        # re-merge it with the job's own unchanged ambient noise.
+        self.ambient: StragglerSchedule | None = None
         if ambient_noise:
             horizon = self._time_horizon()
-            noise = ambient_contention(
+            self.ambient = ambient_contention(
                 self.cluster.spec.n_workers,
                 horizon,
                 child_rng(job.seed, "ambient"),
@@ -64,7 +68,7 @@ class DistributedTrainer:
                 mean_duration=AMBIENT_MEAN_DURATION,
                 slow_factor=AMBIENT_SLOW_FACTOR,
             )
-            schedule = schedule.merged_with(noise)
+            schedule = schedule.merged_with(self.ambient)
         self.stragglers = schedule
 
     def new_session(self) -> TrainingSession:

@@ -74,6 +74,15 @@ def fleet_tuning_artifact(runner):
     return _fleet_tuning_artifact(runner)
 
 
+def fleet_resim_artifact(runner):
+    """The stretch-vs-exact preempted-tail delta table (lazy import)."""
+    from repro.experiments.fleet import (
+        fleet_resim_artifact as _fleet_resim_artifact,
+    )
+
+    return _fleet_resim_artifact(runner)
+
+
 #: Registry used by the CLI and the benchmark suite.
 ARTIFACTS = {
     "fig2": figure_2,
@@ -97,6 +106,7 @@ ARTIFACTS = {
     "tab5": table_5,
     "tab6": table_6,
     "fleet": fleet_artifact,
+    "fleet-resim": fleet_resim_artifact,
     "fleet-search": fleet_tuning_artifact,
 }
 
@@ -112,6 +122,7 @@ __all__ = [
     "default_scale",
     "default_seeds",
     "fleet_artifact",
+    "fleet_resim_artifact",
     "fleet_tuning_artifact",
     "prefetch_union",
     "resolve_jobs",

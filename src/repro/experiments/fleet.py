@@ -35,6 +35,7 @@ from repro.experiments.executor import (
     disk_store,
     resolve_cache_dir,
 )
+from repro.errors import FleetError
 from repro.experiments.reporting import Report
 from repro.experiments.runner import CollectionComplete, ExperimentRunner
 from repro.fleet import (
@@ -49,6 +50,7 @@ from repro.fleet import (
 
 __all__ = [
     "DEFAULT_FLEET_SCALE",
+    "DEFAULT_RESIM_SCENARIO",
     "DEFAULT_TUNING_SCENARIOS",
     "DEFAULT_TUNING_SEEDS",
     "FleetRunRequest",
@@ -56,11 +58,15 @@ __all__ = [
     "fleet_artifact",
     "fleet_grid",
     "fleet_report",
+    "fleet_resim_artifact",
+    "fleet_resim_report",
     "fleet_tuning_artifact",
     "fleet_tuning_report",
+    "resim_delta_payload",
     "tuning_grid",
     "tuning_summary_payload",
     "write_fleet_summary",
+    "write_resim_delta",
     "write_tuning_summary",
 ]
 
@@ -80,6 +86,17 @@ DEFAULT_TUNING_PATH = (
 #: stream (amortization realized inside the run) and the contended
 #: rush stream (search cost paid under queueing).
 DEFAULT_TUNING_SCENARIOS = ("recurring", "rush")
+
+#: Preemption-heavy cell of the ``fleet-resim`` delta artifact: the
+#: rush stream under the best-fit scheduler reliably preempts and
+#: restores ASP tails, so the stretch-vs-exact timeline models
+#: measurably diverge on it.
+DEFAULT_RESIM_SCENARIO = ("rush", "best-fit")
+
+#: Default stretch-vs-exact delta artifact location.
+DEFAULT_RESIM_PATH = (
+    Path(__file__).resolve().parents[3] / "results" / "fleet_resim_delta.json"
+)
 
 #: Seeds per tuning cell (95% CIs need at least two).
 DEFAULT_TUNING_SEEDS = 3
@@ -108,6 +125,7 @@ class FleetRunRequest:
     trace: tuple[JobRequest, ...] | None = None
     tune: bool = False
     tune_runs: int = 1
+    resim: str = "exact"
 
     def key(self, scale: float) -> str:
         """Cache key of this cell at ``scale`` (the dedup identity)."""
@@ -127,6 +145,7 @@ class FleetRunRequest:
                 ),
                 "tune": self.tune,
                 "tune_runs": self.tune_runs,
+                "resim": self.resim,
             }
         )
 
@@ -142,6 +161,7 @@ class FleetRunRequest:
             trace=self.trace,
             tune=self.tune,
             tune_runs=self.tune_runs,
+            resim=self.resim,
         )
 
 
@@ -167,13 +187,15 @@ def fleet_grid(
     trace: tuple[JobRequest, ...] | None = None,
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
+    resim: str = "exact",
 ) -> dict[tuple[str, str], FleetSummary]:
     """Simulate a scheduler x sync-policy grid for one scenario.
 
     The grid executes as one deduplicated
     :class:`~repro.experiments.executor.ParallelExecutor` batch
     (``jobs`` worker processes, atomic shared disk cache), exactly like
-    the figure/table training grids.
+    the figure/table training grids.  ``resim`` picks the preempted-tail
+    timeline model (see :class:`~repro.fleet.fleet_sim.FleetConfig`).
     """
     schedulers = schedulers or tuple(sorted(SCHEDULERS))
     policies = policies or SYNC_POLICIES
@@ -185,6 +207,7 @@ def fleet_grid(
             seed=seed,
             n_jobs=n_jobs,
             trace=trace,
+            resim=resim,
         )
         for scheduler in schedulers
         for policy in policies
@@ -365,6 +388,7 @@ def tuning_grid(
     trace: tuple[JobRequest, ...] | None = None,
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
+    resim: str = "exact",
 ) -> dict[tuple[str, str, int], FleetSummary]:
     """The fleet-search comparison grid, one deduplicated batch.
 
@@ -392,6 +416,7 @@ def tuning_grid(
             scheduler=scheduler,
             seed=seed,
             n_jobs=n_jobs,
+            resim=resim,
             **options,
         )
         for scenario in scenarios
@@ -628,6 +653,205 @@ def fleet_tuning_artifact(runner: ExperimentRunner) -> Report:
     target = write_tuning_summary(payload)
     report = fleet_tuning_report(payload)
     report.notes.append(f"tuning summary artifact refreshed at {target}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# fleet-resim: stretch-vs-exact preempted-tail timeline comparison
+# ----------------------------------------------------------------------
+
+
+def resim_delta_payload(
+    scenario: str = DEFAULT_RESIM_SCENARIO[0],
+    scheduler: str = DEFAULT_RESIM_SCENARIO[1],
+    seed: int = 0,
+    scale: float = DEFAULT_FLEET_SCALE,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> dict:
+    """Per-job delta table between the two preempted-tail models.
+
+    Runs the same Sync-Switch stream twice — ``resim="stretch"`` (the
+    legacy linear ASP-stretch) and ``resim="exact"`` (elastic
+    re-simulation) — and tabulates, per job, the JCT and reported
+    accuracy under each model.  Jobs untouched by allocation changes in
+    *both* runs must be bit-identical across models (the golden-parity
+    invariant — enforced here with a hard failure, so the committed
+    artifact can never silently record a parity regression); preempted
+    jobs carry the measured deltas that motivated the re-simulation
+    rework.
+    """
+    requests = {
+        mode: FleetRunRequest(
+            scenario=scenario,
+            scheduler=scheduler,
+            sync_policy="sync-switch",
+            seed=seed,
+            resim=mode,
+        )
+        for mode in ("stretch", "exact")
+    }
+    executor = ParallelExecutor(
+        scale=scale,
+        cache_dir=resolve_cache_dir(cache_dir),
+        jobs=jobs,
+        cell_fn=_execute_fleet_cell,
+        decode=FleetSummary.from_dict,
+    )
+    results = executor.execute(requests.values())
+    summaries = {
+        mode: results[request.key(scale)]
+        for mode, request in requests.items()
+    }
+    stretch_jobs = {job.job_id: job for job in summaries["stretch"].jobs}
+    rows = []
+    for job in summaries["exact"].jobs:
+        other = stretch_jobs[job.job_id]
+        # The two modes' event timelines may legitimately diverge after
+        # the first allocation change, so a job counts as preempted if
+        # *either* model resized it — only both-untouched jobs carry
+        # the bit-identity invariant.
+        preempted = (
+            job.preemptions > 0
+            or job.restores > 0
+            or other.preemptions > 0
+            or other.restores > 0
+        )
+        rows.append(
+            {
+                "job_id": job.job_id,
+                "demand": job.demand,
+                "preemptions": job.preemptions,
+                "restores": job.restores,
+                "jct_stretch_s": other.jct,
+                "jct_exact_s": job.jct,
+                "jct_delta_s": job.jct - other.jct,
+                "accuracy_stretch": other.accuracy,
+                "accuracy_exact": job.accuracy,
+                "accuracy_delta": (
+                    job.accuracy - other.accuracy
+                    if job.accuracy is not None and other.accuracy is not None
+                    else None
+                ),
+                "preempted": preempted,
+                "identical": job.to_dict() == other.to_dict(),
+            }
+        )
+    preempted_rows = [row for row in rows if row["preempted"]]
+    broken = [
+        row["job_id"]
+        for row in rows
+        if not row["preempted"] and not row["identical"]
+    ]
+    if broken:
+        raise FleetError(
+            "golden-parity violation: jobs untouched by allocation changes "
+            f"differ between resim=exact and resim=stretch: {broken}"
+        )
+    return {
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "sync_policy": "sync-switch",
+        "seed": seed,
+        "scale": scale,
+        "mean_jct_stretch_s": summaries["stretch"].mean_jct,
+        "mean_jct_exact_s": summaries["exact"].mean_jct,
+        "preemptions": summaries["exact"].preemptions,
+        "restores": summaries["exact"].restores,
+        "n_preempted_jobs": len(preempted_rows),
+        # Recorded for artifact consumers; necessarily True here — any
+        # violation raised FleetError above instead of being written.
+        "unpreempted_jobs_identical": True,
+        "max_abs_jct_delta_s": max(
+            (abs(row["jct_delta_s"]) for row in preempted_rows), default=0.0
+        ),
+        "max_abs_accuracy_delta": max(
+            (
+                abs(row["accuracy_delta"])
+                for row in preempted_rows
+                if row["accuracy_delta"] is not None
+            ),
+            default=0.0,
+        ),
+        "jobs": rows,
+    }
+
+
+def write_resim_delta(payload: dict, path: str | Path | None = None) -> Path:
+    """Persist ``results/fleet_resim_delta.json``."""
+    target = Path(path) if path is not None else DEFAULT_RESIM_PATH
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def fleet_resim_report(payload: dict) -> Report:
+    """Render a :func:`resim_delta_payload` as the fleet-resim report."""
+    rows = [
+        {
+            "job_id": row["job_id"],
+            "preempt": row["preemptions"],
+            "restore": row["restores"],
+            "jct_stretch_s": row["jct_stretch_s"],
+            "jct_exact_s": row["jct_exact_s"],
+            "jct_delta_s": row["jct_delta_s"],
+            "acc_stretch": row["accuracy_stretch"],
+            "acc_exact": row["accuracy_exact"],
+            "acc_delta": row["accuracy_delta"],
+        }
+        for row in payload["jobs"]
+    ]
+    return Report(
+        ident="Fleet resim",
+        title=(
+            "Preempted-tail timeline models: legacy linear stretch vs "
+            "elastic re-simulation"
+        ),
+        columns=[
+            "job_id",
+            "preempt",
+            "restore",
+            "jct_stretch_s",
+            "jct_exact_s",
+            "jct_delta_s",
+            "acc_stretch",
+            "acc_exact",
+            "acc_delta",
+        ],
+        rows=rows,
+        notes=[
+            f"scenario {payload['scenario']} / scheduler "
+            f"{payload['scheduler']} / seed {payload['seed']} at scale "
+            f"{payload['scale']:g}",
+            "stretch replays the unpreempted run and scales the ASP tail "
+            "by n/(n-k); exact re-simulates the tail on the changed "
+            "worker set (staleness, contention and reconfiguration "
+            "overheads included)",
+            "jobs with zero allocation changes are bit-identical across "
+            "the two models (golden-parity invariant): "
+            f"{payload['unpreempted_jobs_identical']}",
+        ],
+    )
+
+
+def fleet_resim_artifact(runner: ExperimentRunner) -> Report:
+    """The ``fleet-resim`` entry of the artifact registry.
+
+    Runs the default preemption-heavy comparison
+    (:data:`DEFAULT_RESIM_SCENARIO`) at :data:`DEFAULT_FLEET_SCALE` and
+    refreshes ``results/fleet_resim_delta.json`` — ``python -m repro
+    report fleet-resim`` regenerates the committed delta table exactly.
+    Not prefetchable as training cells.
+    """
+    if runner.is_collecting:
+        raise CollectionComplete
+    payload = resim_delta_payload(
+        jobs=runner.jobs,
+        cache_dir=runner.cache_dir if runner.cache_dir is not None else "off",
+    )
+    target = write_resim_delta(payload)
+    report = fleet_resim_report(payload)
+    report.notes.append(f"resim delta artifact refreshed at {target}")
     return report
 
 

@@ -13,6 +13,7 @@ telemetry (:mod:`repro.fleet.metrics`).
 """
 
 from repro.fleet.fleet_sim import (
+    RESIM_MODES,
     FleetConfig,
     FleetSimulator,
     WorkerPool,
@@ -20,6 +21,7 @@ from repro.fleet.fleet_sim import (
 )
 from repro.fleet.metrics import FleetSummary, JobRecord, summarize_fleet
 from repro.fleet.policy_store import (
+    STORE_FORMAT_VERSION,
     ClassPolicy,
     JobClass,
     PolicyStore,
@@ -52,7 +54,9 @@ from repro.fleet.workload import (
 __all__ = [
     "FLEET_SCENARIOS",
     "JOB_KINDS",
+    "RESIM_MODES",
     "SCHEDULERS",
+    "STORE_FORMAT_VERSION",
     "SYNC_POLICIES",
     "BestFitScheduler",
     "ClassPolicy",

@@ -12,17 +12,38 @@ delay, makespan, utilization) is aggregated into a
 Timeline model
 --------------
 
-Training a job is expensive relative to scheduling it, so each job is
-simulated *once*, at admission, on its full worker allocation; the
-resulting telemetry yields two phase spans:
+Each admitted job's telemetry yields two phase spans:
 
 * the **BSP span** — everything up to the end of the last BSP segment
   (plus switch overheads).  BSP is barrier-synchronized, so this span
   is never stretched or shrunk by the fleet;
-* the **ASP tail** — the asynchronous remainder.  ASP throughput
-  scales roughly linearly with workers, so when the scheduler preempts
-  ``k`` of a job's ``n`` workers the remaining tail stretches by
-  ``n / (n - k)`` (and contracts again when workers are restored).
+* the **ASP tail** — the asynchronous remainder, the only span the
+  scheduler may elastically preempt.
+
+How an allocation change affects the tail depends on
+``FleetConfig(resim=...)``:
+
+* ``"exact"`` (default) — **event-driven elastic re-simulation**.  The
+  job is held as a paused
+  :class:`~repro.core.runtime.elastic.ElasticTrainingRun` at the tail
+  boundary (the segment-level cache of the unchanged BSP span); its
+  completion is *projected* by forking the paused run and training the
+  tail to the end.  When the scheduler preempts or restores workers,
+  the live run resumes to the allocation-change instant, checkpoints,
+  resizes the cluster (charging the calibrated reconfiguration
+  overhead), re-slices the shared contention schedule from the resume
+  instant, and a fresh fork projects the new completion.  JCT,
+  accuracy, staleness telemetry and divergence therefore reflect what
+  the cluster would really do — per Section V, ASP dynamics change
+  with the worker set.
+* ``"stretch"`` (legacy) — the job is simulated once at admission and
+  the tail is linearly stretched by ``n / (n - k)`` on preemption
+  (contracting again on restore).  Kept for A/B comparisons and
+  benchmarks; its reported accuracy and telemetry are those of the
+  *unpreempted* run.
+
+Runs with zero allocation changes are bit-identical across the two
+modes (golden-hash gated).
 
 Co-located jobs share contention: one fleet-wide straggler schedule is
 generated over the *physical* pool, and each admitted job sees the
@@ -49,10 +70,10 @@ an identical :class:`FleetSummary`.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.policies import ConfigurationPolicy, PolicyManager, TimingPolicy
-from repro.core.runtime import SyncSwitchController
+from repro.core.runtime import ElasticTrainingRun, SyncSwitchController
 from repro.core.search.binary_search import SearchConfig
 from repro.distsim.cluster import ClusterSpec
 from repro.distsim.stragglers import StragglerEvent, StragglerSchedule, ambient_contention
@@ -75,11 +96,22 @@ from repro.fleet.workload import (
 )
 from repro.rng import child_rng, child_seed
 
-__all__ = ["FleetConfig", "WorkerPool", "FleetSimulator", "simulate_fleet"]
+__all__ = [
+    "RESIM_MODES",
+    "FleetConfig",
+    "WorkerPool",
+    "FleetSimulator",
+    "simulate_fleet",
+]
 
 #: Event priorities at equal timestamps: completions free workers
 #: before phase flips and new arrivals are considered.
 _FINISH, _PHASE, _ARRIVAL = 0, 1, 2
+
+#: Timeline models for preempted ASP tails: ``exact`` re-simulates the
+#: tail on the changed worker set, ``stretch`` is the legacy linear
+#: ``n / (n - k)`` model (see the module docstring).
+RESIM_MODES = ("exact", "stretch")
 
 
 @dataclass(frozen=True)
@@ -111,8 +143,13 @@ class FleetConfig:
     tune: bool = False
     tune_runs: int = 1
     tune_beta: float = 0.02
+    resim: str = "exact"
 
     def __post_init__(self):
+        if self.resim not in RESIM_MODES:
+            raise ConfigurationError(
+                f"unknown resim mode {self.resim!r}; known: {RESIM_MODES}"
+            )
         if self.trace is None and self.scenario not in FLEET_SCENARIOS:
             raise ConfigurationError(
                 f"unknown scenario {self.scenario!r}; "
@@ -177,7 +214,14 @@ class WorkerPool:
 
 
 class _RunningJob:
-    """Bookkeeping for one admitted job's fleet timeline."""
+    """Bookkeeping for one admitted job's fleet timeline.
+
+    ``sim`` is the paused :class:`ElasticTrainingRun` of ``resim=exact``
+    jobs (None under the legacy stretch model): it sits at the last
+    allocation-change boundary (initially the ASP-tail start) and
+    ``result`` always holds the *projection* of the completion from
+    that state on the current worker set.
+    """
 
     def __init__(
         self,
@@ -188,11 +232,13 @@ class _RunningJob:
         percent: float | None = None,
         tuned: bool = False,
         degraded: bool = False,
+        sim: ElasticTrainingRun | None = None,
     ):
         self.request = request
         self.workers = workers
         self.start = start
         self.result = result
+        self.sim = sim
         self.percent = percent if percent is not None else request.percent
         self.tuned = tuned
         self.degraded = degraded
@@ -201,6 +247,10 @@ class _RunningJob:
         self.version = 0
         self.preemptions = 0
         self.restores = 0
+        #: Allocation history: one row per allocation-changing event.
+        self.allocations: list[dict] = [
+            {"time": start, "workers": len(workers), "cause": "admit"}
+        ]
         # Phase spans from the training telemetry: everything after the
         # last BSP segment is the elastic ASP tail.
         tail = 0.0
@@ -218,14 +268,21 @@ class _RunningJob:
         """Current allocation as a fraction of the full demand."""
         return len(self.workers) / self.demand
 
+    def note_allocation(self, now: float, cause: str) -> None:
+        """Record one allocation change for the per-segment telemetry."""
+        self.allocations.append(
+            {"time": now, "workers": len(self.workers), "cause": cause}
+        )
+
     def enter_asp(self, now: float) -> None:
         """Flip to the (preemptible, elastic) ASP phase."""
         self.phase = "asp"
         self._mark = now
 
     def settle(self, now: float) -> None:
-        """Account ASP progress since the last allocation change."""
-        if self.phase != "asp":
+        """Account ASP progress since the last allocation change
+        (stretch-model bookkeeping; exact jobs track time in the sim)."""
+        if self.phase != "asp" or self.sim is not None:
             return
         self.asp_remaining = max(
             self.asp_remaining - (now - self._mark) * self.ratio, 0.0
@@ -233,7 +290,15 @@ class _RunningJob:
         self._mark = now
 
     def finish_time(self, now: float) -> float:
-        """Projected completion time at the current allocation."""
+        """Projected completion time at the current allocation.
+
+        Until the first allocation change the exact and stretch models
+        must agree to the bit, so both evaluate the same float
+        expression; after a resize the exact model's finish comes from
+        the re-simulated projection.
+        """
+        if self.sim is not None and len(self.allocations) > 1:
+            return self.start + self.result.total_time
         if self.phase == "bsp":
             return self.start + self.bsp_span + self.asp_tail
         return now + self.asp_remaining / self.ratio
@@ -253,6 +318,10 @@ class FleetSimulator:
     """
 
     config: FleetConfig
+    #: Optional pre-populated policy store (warm start): persisted
+    #: stores let recurring classes reuse searched policies across
+    #: fleet runs — the paper's ``(Yes, 0, r)`` setting.
+    store: PolicyStore | None = None
     _seq: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self):
@@ -296,7 +365,8 @@ class FleetSimulator:
         self.pool = WorkerPool(self.pool_size)
         self.scheduler: SchedulerPolicy = make_scheduler(config.scheduler)
         self.contention = self._fleet_contention()
-        self.store = PolicyStore()
+        if self.store is None:
+            self.store = PolicyStore()
         self._heap: list[tuple[float, int, int, object]] = []
         self._queue: list[JobRequest] = []
         self._running: dict[int, _RunningJob] = {}
@@ -368,7 +438,10 @@ class FleetSimulator:
     def _schedule(self, now: float) -> None:
         """Triage, admit, preempt and rebalance until nothing changes."""
         context = SchedulerContext(
-            now=now, scale=self.config.scale, store=self.store
+            now=now,
+            scale=self.config.scale,
+            store=self.store,
+            preemptible=self._preemptible_surplus(),
         )
         rejected, degraded = self.scheduler.triage(
             self._queue, self.pool.free_count, self.config.scale, context
@@ -380,6 +453,14 @@ class FleetSimulator:
         # its class was un-tuned is rescued if tuning finishes first.
         self._degraded.clear()
         self._degraded.update(degraded)
+        # Jobs already shrunk in this pass: repeated reclaims within one
+        # pass must not double-count a victim's preemptions.
+        shrunk_this_pass: set[int] = set()
+        # Exact-mode jobs resized in this pass: their completion is
+        # re-projected once, after the pass settles — nothing reads an
+        # intermediate projection, so a victim shrunk twice within one
+        # pass re-trains its tail once, not once per shrink.
+        reproject: dict[int, _RunningJob] = {}
         while True:
             admitted = self.scheduler.admit(
                 self._queue, self.pool.free_count, self.config.scale, context
@@ -390,22 +471,51 @@ class FleetSimulator:
             if admitted:
                 continue
             if self.scheduler.preemptive and self._queue:
+                # Refresh the reclaimable surplus: admissions earlier in
+                # this pass may have started new (instantly-ASP) jobs
+                # and prior reclaims changed allocations.
+                context = replace(
+                    context, preemptible=self._preemptible_surplus()
+                )
                 wanted = self.scheduler.preemption_request(
                     self._queue, self.pool.free_count, self.config.scale,
                     context,
                 )
-                if wanted > 0 and self._preempt(wanted, now) > 0:
+                if wanted > 0 and self._preempt(
+                    wanted, now, shrunk_this_pass, reproject
+                ) > 0:
                     continue
             break
-        self._rebalance(now)
+        self._rebalance(now, reproject)
+        for job in reproject.values():
+            projection = job.sim.fork()
+            projection.run_to_completion()
+            job.result = projection.result()
+            self._push(
+                job.finish_time(now),
+                _FINISH,
+                ("finish", job.request.job_id, job.version),
+            )
+
+    def _preemptible_surplus(self) -> int:
+        """Workers reclaimable from ASP-phase jobs above the floor."""
+        floor = self.config.preemption_floor
+        return sum(
+            len(job.workers) - floor
+            for job in self._running.values()
+            if job.phase == "asp" and len(job.workers) > floor
+        )
 
     def _admit(self, request: JobRequest, now: float) -> None:
         percent, tuned, degraded = self._resolve_percent(request)
         workers = self.pool.allocate(request.n_workers)
-        result = self._train(request, workers, now, percent)
+        if self.config.resim == "exact":
+            sim, result = self._begin_exact(request, workers, now, percent)
+        else:
+            sim, result = None, self._train(request, workers, now, percent)
         job = _RunningJob(
             request, workers, now, result,
-            percent=percent, tuned=tuned, degraded=degraded,
+            percent=percent, tuned=tuned, degraded=degraded, sim=sim,
         )
         self._running[request.job_id] = job
         if job.asp_tail > 0.0 and job.bsp_span > 0.0:
@@ -469,12 +579,20 @@ class FleetSimulator:
         )
         self._degraded.pop(request.job_id, None)
 
-    def _preempt(self, wanted: int, now: float) -> int:
+    def _preempt(
+        self,
+        wanted: int,
+        now: float,
+        shrunk_this_pass: set[int],
+        reproject: dict[int, _RunningJob] | None = None,
+    ) -> int:
         """Reclaim up to ``wanted`` workers from ASP-phase jobs.
 
         A no-op when the reclaimable surplus could not make any queued
         job fit — shrinking victims only to restore them in the same
-        scheduling pass would be pure churn.
+        scheduling pass would be pure churn.  A victim shrunk more than
+        once within one scheduling pass counts a single preemption
+        (``shrunk_this_pass`` spans the pass, not this call).
         """
         floor = self.config.preemption_floor
         victims = sorted(
@@ -494,12 +612,20 @@ class FleetSimulator:
             if freed >= wanted:
                 break
             take = min(len(job.workers) - floor, wanted - freed)
-            self._resize(job, len(job.workers) - take, now)
-            job.preemptions += 1
+            applied = self._resize(
+                job, len(job.workers) - take, now, "preempt", reproject
+            )
+            if applied and job.request.job_id not in shrunk_this_pass:
+                shrunk_this_pass.add(job.request.job_id)
+                job.preemptions += 1
             freed += take
         return freed
 
-    def _rebalance(self, now: float) -> None:
+    def _rebalance(
+        self,
+        now: float,
+        reproject: dict[int, _RunningJob] | None = None,
+    ) -> None:
         """Give leftover free workers back to shrunk ASP jobs."""
         while self.pool.free_count > 0:
             starved = sorted(
@@ -516,12 +642,46 @@ class FleetSimulator:
             grant = min(
                 self.pool.free_count, job.demand - len(job.workers)
             )
-            self._resize(job, len(job.workers) + grant, now)
-            job.restores += 1
+            if self._resize(
+                job, len(job.workers) + grant, now, "restore", reproject
+            ):
+                job.restores += 1
 
-    def _resize(self, job: _RunningJob, new_count: int, now: float) -> None:
-        """Change a running ASP job's allocation and replan its finish."""
+    def _resize(
+        self,
+        job: _RunningJob,
+        new_count: int,
+        now: float,
+        cause: str,
+        reproject: dict[int, _RunningJob] | None = None,
+    ) -> bool:
+        """Change a running ASP job's allocation and replan its finish.
+
+        Under ``resim=exact`` the job's paused run is first resumed to
+        this instant (replaying exactly what the previous projection
+        predicted), then resized and re-projected; under the stretch
+        model only the linear tail bookkeeping changes.  Each resize
+        charges its own reconfiguration overhead — two same-pass
+        shrinks are two real checkpoint→reconfigure→restart cycles —
+        but when the caller passes a pass-scoped ``reproject`` dict the
+        completion *projection* (and its finish event) is deferred to
+        the end of the scheduling pass, so a victim resized twice in
+        one pass re-trains its tail once; without the dict the
+        projection runs inline.
+
+        Returns whether the resize affected the job's timeline.  The
+        pool always changes hands, but when the exact replay discovers
+        the run completing inside the final update interval (a float
+        edge: pauses land on update boundaries) the job's training is
+        over and nothing is re-simulated — the caller must then not
+        count a preemption/restore nor record an allocation segment.
+        """
         job.settle(now)
+        resumed = None
+        if job.sim is not None and not job.sim.finished:
+            # Resume before the pool changes hands: the re-slice below
+            # must see the *new* physical mapping, the replay the old.
+            resumed = job.sim.advance_to(now - job.start)
         current = len(job.workers)
         if new_count < current:
             released = job.workers[new_count:]
@@ -529,12 +689,37 @@ class FleetSimulator:
             self.pool.release(released)
         elif new_count > current:
             job.workers = job.workers + self.pool.allocate(new_count - current)
+        if job.sim is not None and resumed != "paused":
+            # Replay found the run already complete: the workers change
+            # hands but the job's timeline — and its pending finish
+            # event — stay exactly as projected.
+            return False
+        job.note_allocation(now, cause)
         job.version += 1
+        if resumed == "paused":
+            contention = self._job_stragglers(
+                job.workers, job.start, active_after=now
+            )
+            if contention is None and self.contention is not None:
+                # An *empty* re-slice (no events survive the resume
+                # instant) must still replace the stale slice of the
+                # previous physical mapping; None means "keep" to the
+                # sim, which is only right when contention is off.
+                contention = StragglerSchedule([])
+            job.sim.resize(len(job.workers), contention)
+            if reproject is not None:
+                # Finish event deferred with the projection (end of pass).
+                reproject[job.request.job_id] = job
+                return True
+            projection = job.sim.fork()
+            projection.run_to_completion()
+            job.result = projection.result()
         self._push(
             job.finish_time(now),
             _FINISH,
             ("finish", job.request.job_id, job.version),
         )
+        return True
 
     def _complete(self, job: _RunningJob, now: float) -> None:
         self.pool.release(job.workers)
@@ -561,6 +746,7 @@ class FleetSimulator:
                 tuned=job.tuned,
                 degraded=job.degraded,
                 outcome="completed",
+                allocations=tuple(job.allocations),
             )
         )
         if job.request.kind == "search-trial":
@@ -662,15 +848,7 @@ class FleetSimulator:
         """
         if percent is None:
             percent = request.percent
-        setup = SETUPS[request.setup_index]
-        seed = child_seed(
-            self.config.seed, f"fleet/job/{request.job_id}"
-        ) % (2**31)
-        job = scaled_job(setup, self.config.scale, seed)
-        policies = PolicyManager(
-            timing=TimingPolicy(percent / 100.0, source="fleet"),
-            config=ConfigurationPolicy(),
-        )
+        job, policies = self._training_inputs(request, percent)
         controller = SyncSwitchController(
             job=job,
             cluster_spec=ClusterSpec(n_workers=len(workers)),
@@ -680,6 +858,51 @@ class FleetSimulator:
             overhead_time_scale=self.config.scale,
         )
         return controller.run_job().result
+
+    def _begin_exact(
+        self,
+        request: JobRequest,
+        workers: tuple[int, ...],
+        now: float,
+        percent: float,
+    ) -> tuple[ElasticTrainingRun, TrainingResult]:
+        """Start a resumable run and project its unpreempted completion.
+
+        The live run is paused at the ASP-tail boundary — the cached
+        BSP span no allocation change ever replays — and a fork trains
+        the tail to the end for the initial finish-time projection.
+        Jobs without an elastic tail (all-BSP, or divergence inside the
+        BSP phase) complete inside the live run directly.
+        """
+        job, policies = self._training_inputs(request, percent)
+        sim = ElasticTrainingRun(
+            job=job,
+            cluster_spec=ClusterSpec(n_workers=len(workers)),
+            policies=policies,
+            stragglers=self._job_stragglers(workers, now),
+            ambient_noise=self.config.ambient,
+            overhead_time_scale=self.config.scale,
+        )
+        if sim.run_to_tail() == "finished":
+            return sim, sim.result()
+        projection = sim.fork()
+        projection.run_to_completion()
+        return sim, projection.result()
+
+    def _training_inputs(
+        self, request: JobRequest, percent: float
+    ) -> tuple[object, PolicyManager]:
+        """Scaled job config + offline policy set for one admission."""
+        setup = SETUPS[request.setup_index]
+        seed = child_seed(
+            self.config.seed, f"fleet/job/{request.job_id}"
+        ) % (2**31)
+        job = scaled_job(setup, self.config.scale, seed)
+        policies = PolicyManager(
+            timing=TimingPolicy(percent / 100.0, source="fleet"),
+            config=ConfigurationPolicy(),
+        )
+        return job, policies
 
     def _fleet_contention(self) -> StragglerSchedule | None:
         """Pool-wide contention events shared by co-located jobs."""
@@ -703,28 +926,39 @@ class FleetSimulator:
         )
 
     def _job_stragglers(
-        self, workers: tuple[int, ...], now: float
+        self,
+        workers: tuple[int, ...],
+        now: float,
+        active_after: float | None = None,
     ) -> StragglerSchedule | None:
         """Slice of the fleet contention seen by a job starting at ``now``.
 
-        Physical-worker events still active (or future) at admission are
-        remapped to the job's local worker indices with starts shifted
-        into job-relative time, so two jobs co-located on a worker see
-        the same burst during their overlap.
+        Physical-worker events still active (or future) at the cut
+        instant are remapped to the job's local worker indices with
+        starts shifted into job-relative time, so two jobs co-located
+        on a worker see the same burst during their overlap.
+
+        ``active_after`` re-slices at a resume instant: events are
+        still expressed relative to the job's start ``now``, but only
+        the portion active after the (later) fleet instant
+        ``active_after`` is kept — the elastic re-simulation swaps this
+        slice in when an allocation change remaps local workers onto
+        different physical ones mid-run.
         """
         if self.contention is None:
             return None
+        cut = now if active_after is None else active_after
         events = []
         for local, physical in enumerate(workers):
             for event in self.contention.events_for(physical):
-                if event.end <= now:
+                if event.end <= cut:
                     continue
-                start = max(event.start - now, 0.0)
+                begin = max(event.start, cut)
                 events.append(
                     StragglerEvent(
                         worker=local,
-                        start=start,
-                        duration=event.end - max(event.start, now),
+                        start=begin - now,
+                        duration=event.end - begin,
                         slow_factor=event.slow_factor,
                         extra_latency=event.extra_latency,
                     )
@@ -732,11 +966,16 @@ class FleetSimulator:
         return StragglerSchedule(events) if events else None
 
 
-def simulate_fleet(config: FleetConfig) -> FleetSummary:
+def simulate_fleet(
+    config: FleetConfig, store: PolicyStore | None = None
+) -> FleetSummary:
     """Run one fleet configuration end to end (one fleet cell).
 
     The unit of the ``fleet``/``fleet-search`` artifacts: a whole
     multi-job stream served on one shared pool (Section VI-C's
-    recurring-job setting), summarized into fleet telemetry.
+    recurring-job setting), summarized into fleet telemetry.  ``store``
+    warm-starts the run from a persisted
+    :class:`~repro.fleet.policy_store.PolicyStore` (and is mutated
+    in-place, so the caller can persist it afterwards).
     """
-    return FleetSimulator(config).run()
+    return FleetSimulator(config, store=store).run()

@@ -44,6 +44,13 @@ class JobRecord:
     trained at — the tuned percentage when the policy store supplied
     one (``tuned``), or 100 when the SLO scheduler degraded the job to
     all-BSP (``degraded``).
+
+    ``allocations`` is the per-segment allocation history: one
+    ``{"time", "workers", "cause"}`` row per allocation-changing event
+    (``admit``, then ``preempt``/``restore`` rows for every elastic
+    resize), so each span between consecutive rows ran on a fixed
+    worker count.  Empty for rejected jobs and for payloads cached
+    before the elastic re-simulation landed.
     """
 
     job_id: int
@@ -65,6 +72,7 @@ class JobRecord:
     tuned: bool = False
     degraded: bool = False
     outcome: str = "completed"
+    allocations: tuple[dict, ...] = ()
 
     @property
     def jct(self) -> float:
@@ -88,6 +96,36 @@ class JobRecord:
             return None
         return self.outcome == "completed" and self.finish <= self.deadline
 
+    def allocation_segments(self) -> tuple[dict, ...]:
+        """Fixed-allocation spans derived from the allocation history.
+
+        Each row covers ``[start, end)`` on a constant worker count;
+        the final span ends at the job's finish.  Empty when no
+        history was recorded (rejected jobs, legacy payloads).
+        """
+        if not self.allocations:
+            return ()
+        spans = []
+        for row, nxt in zip(self.allocations, self.allocations[1:]):
+            spans.append(
+                {
+                    "start": row["time"],
+                    "end": nxt["time"],
+                    "workers": row["workers"],
+                    "cause": row["cause"],
+                }
+            )
+        last = self.allocations[-1]
+        spans.append(
+            {
+                "start": last["time"],
+                "end": self.finish,
+                "workers": last["workers"],
+                "cause": last["cause"],
+            }
+        )
+        return tuple(spans)
+
     def to_dict(self) -> dict:
         """Plain-python dict for JSON caching."""
         return {
@@ -110,12 +148,18 @@ class JobRecord:
             "tuned": self.tuned,
             "degraded": self.degraded,
             "outcome": self.outcome,
+            "allocations": [dict(row) for row in self.allocations],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobRecord":
-        """Inverse of :meth:`to_dict` (tolerates pre-SLO payloads)."""
-        return cls(**data)
+        """Inverse of :meth:`to_dict` (tolerates pre-SLO and
+        pre-re-simulation payloads)."""
+        payload = dict(data)
+        payload["allocations"] = tuple(
+            dict(row) for row in payload.get("allocations", ())
+        )
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -239,6 +283,11 @@ def summarize_fleet(
     search_trials = [
         record for record in completed if record.kind == "search-trial"
     ]
+    # One record per job id is a simulator invariant (a job is recorded
+    # by exactly one of _reject/_complete), so every deadline job counts
+    # exactly once in attainment whatever its triage path — degraded
+    # then completed, rejected, or plain; pinned by
+    # tests/fleet/test_slo.py::test_degraded_jobs_count_once_in_attainment.
     deadline_jobs = [
         record
         for record in ordered

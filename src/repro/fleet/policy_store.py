@@ -28,14 +28,26 @@ recurrences — the tests pin this equivalence against a
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.search.binary_search import SearchResult
-from repro.errors import FleetError
+from repro.errors import ConfigurationError, FleetError
 from repro.fleet.workload import JobRequest, estimate_service_time
 
-__all__ = ["JobClass", "ClassPolicy", "PolicyStore", "policy_from_search"]
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "JobClass",
+    "ClassPolicy",
+    "PolicyStore",
+    "policy_from_search",
+]
+
+#: On-disk payload version for persisted stores; bump on any breaking
+#: change to the schema so stale files fail loudly at load time.
+STORE_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -155,6 +167,11 @@ class PolicyStore:
         self._recurrences: dict[JobClass, int] = {}
         self._savings: dict[JobClass, float] = {}
         self._breakeven_at: dict[JobClass, int | None] = {}
+        # Realized tuned service times (sum, count) per class: the
+        # predicted-JCT feedback loop — fleet reality (queue-side
+        # contention, elastic preemption stretches, re-simulated tails)
+        # folds back into SLO admission predictions.
+        self._realized_service: dict[JobClass, tuple[float, int]] = {}
 
     # ------------------------------------------------------------------
     # search lifecycle
@@ -205,6 +222,8 @@ class PolicyStore:
             )
         self._recurrences[job_class] += 1
         self._savings[job_class] += policy.bsp_time - service_time
+        total, count = self._realized_service.get(job_class, (0.0, 0))
+        self._realized_service[job_class] = (total + service_time, count + 1)
         if (
             self._breakeven_at[job_class] is None
             and self._savings[job_class] >= policy.search_cost
@@ -229,21 +248,36 @@ class PolicyStore:
     def predict_service(self, request: JobRequest, scale: float) -> float:
         """Predicted service time for SLO admission control.
 
-        Tuned classes predict the search's measured tuned service
-        time; everything else — un-tuned classes, explicit static
-        policies, search trials — falls back to the conservative
-        all-BSP estimate.  Never raises for an unknown class: the SLO
-        scheduler must stay usable before (or without) tuning.
+        Tuned classes predict the mean *realized* tuned service time
+        once recurrences have completed — the feedback loop that folds
+        elastic preemption stretches and re-simulated tails back into
+        admission — and the search's measured tuned service time before
+        any recurrence exists.  Everything else — un-tuned classes,
+        explicit static policies, search trials — falls back to the
+        conservative all-BSP estimate.  Never raises for an unknown
+        class: the SLO scheduler must stay usable before (or without)
+        tuning.
         """
         if (
             request.kind == "train"
             and request.sync_policy == "sync-switch"
             and request.percent_override is None
         ):
-            policy = self._policies.get(JobClass.of(request))
+            job_class = JobClass.of(request)
+            policy = self._policies.get(job_class)
             if policy is not None:
+                total, count = self._realized_service.get(
+                    job_class, (0.0, 0)
+                )
+                if count > 0:
+                    return total / count
                 return policy.policy_time
         return estimate_service_time(request.setup_index, 100.0, scale)
+
+    def realized_service_mean(self, job_class: JobClass) -> float | None:
+        """Mean realized tuned service time (None before any recurrence)."""
+        total, count = self._realized_service.get(job_class, (0.0, 0))
+        return total / count if count > 0 else None
 
     # ------------------------------------------------------------------
     # reporting
@@ -283,6 +317,151 @@ class PolicyStore:
                     "recurrences": self._recurrences[job_class],
                     "realized_savings_s": self._savings[job_class],
                     "breakeven_recurrence": self._breakeven_at[job_class],
+                    "realized_service_mean_s": self.realized_service_mean(
+                        job_class
+                    ),
                 }
             )
         return tuple(rows)
+
+    # ------------------------------------------------------------------
+    # persistence (warm-starting recurring classes across fleet runs)
+    # ------------------------------------------------------------------
+    def to_payload(self, scale: float | None = None) -> dict:
+        """JSON-serializable snapshot of policies and ledger state.
+
+        In-flight searches are deliberately *not* persisted: a search
+        only exists inside one fleet run's event loop, so a reloaded
+        store treats the class as un-tuned and searches again.
+
+        ``scale`` stamps the step-budget scale the times were measured
+        at: absolute service times are only comparable within one
+        scale, so loading checks it (see :meth:`from_payload`).
+        """
+        classes = []
+        for job_class in sorted(
+            self._policies, key=lambda cls: (cls.setup_index, cls.n_workers)
+        ):
+            policy = self._policies[job_class]
+            total, count = self._realized_service.get(job_class, (0.0, 0))
+            classes.append(
+                {
+                    "setup_index": job_class.setup_index,
+                    "n_workers": job_class.n_workers,
+                    "percent": policy.percent,
+                    "target_accuracy": policy.target_accuracy,
+                    "bsp_time": policy.bsp_time,
+                    "policy_time": policy.policy_time,
+                    "search_cost": policy.search_cost,
+                    "n_trials": policy.n_trials,
+                    "tuned_at": policy.tuned_at,
+                    "recurrences": self._recurrences[job_class],
+                    "realized_savings": self._savings[job_class],
+                    "breakeven_recurrence": self._breakeven_at[job_class],
+                    "realized_service_sum": total,
+                    "realized_service_count": count,
+                }
+            )
+        return {
+            "version": STORE_FORMAT_VERSION,
+            "scale": scale,
+            "classes": classes,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict, scale: float | None = None
+    ) -> "PolicyStore":
+        """Rebuild a store from :meth:`to_payload`.
+
+        Checks the payload version and — when both sides declare one —
+        the step-budget scale: a store measured at one ``--scale``
+        must not warm-start predictions at another (the absolute
+        service times would be in different units).
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError("policy-store payload must be an object")
+        version = payload.get("version")
+        if version != STORE_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"policy-store payload version {version!r} is not supported "
+                f"(this build reads version {STORE_FORMAT_VERSION}); "
+                "re-create the store with the current code"
+            )
+        stored_scale = payload.get("scale")
+        if (
+            scale is not None
+            and stored_scale is not None
+            and stored_scale != scale
+        ):
+            raise ConfigurationError(
+                f"policy store was measured at scale {stored_scale:g} but "
+                f"this run uses scale {scale:g}; service times are not "
+                "comparable across scales — use a separate store per scale"
+            )
+        store = cls()
+        for entry in payload.get("classes", []):
+            try:
+                job_class = JobClass(
+                    setup_index=int(entry["setup_index"]),
+                    n_workers=int(entry["n_workers"]),
+                )
+                policy = ClassPolicy(
+                    job_class=job_class,
+                    percent=float(entry["percent"]),
+                    target_accuracy=float(entry["target_accuracy"]),
+                    bsp_time=float(entry["bsp_time"]),
+                    policy_time=float(entry["policy_time"]),
+                    search_cost=float(entry["search_cost"]),
+                    n_trials=int(entry["n_trials"]),
+                    tuned_at=float(entry["tuned_at"]),
+                )
+                recurrences = int(entry["recurrences"])
+                savings = float(entry["realized_savings"])
+                breakeven = entry["breakeven_recurrence"]
+                breakeven = None if breakeven is None else int(breakeven)
+                service_sum = float(entry["realized_service_sum"])
+                service_count = int(entry["realized_service_count"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"malformed policy-store class entry: {exc}"
+                ) from exc
+            try:
+                store.install(policy)
+            except FleetError as exc:
+                # e.g. duplicate class entries in a hand-edited file —
+                # surface as the load contract's configuration error.
+                raise ConfigurationError(
+                    f"invalid policy-store payload: {exc}"
+                ) from exc
+            store._recurrences[job_class] = recurrences
+            store._savings[job_class] = savings
+            store._breakeven_at[job_class] = breakeven
+            if service_count > 0:
+                store._realized_service[job_class] = (
+                    service_sum, service_count
+                )
+        return store
+
+    def save(self, path: str | Path, scale: float | None = None) -> Path:
+        """Persist the store as JSON (for ``fleet --policy-store``)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_payload(scale=scale), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path, scale: float | None = None) -> "PolicyStore":
+        """Load a persisted store (raises ``ConfigurationError`` on a
+        missing/corrupt file, an unsupported payload version, or a
+        step-budget scale mismatch)."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read policy store {path}: {exc}"
+            ) from exc
+        return cls.from_payload(payload, scale=scale)

@@ -55,12 +55,16 @@ class SchedulerContext:
 
     ``store`` is the fleet's :class:`~repro.fleet.policy_store.PolicyStore`
     (present on every simulation; only populated with tuned policies
-    when tuning is enabled).
+    when tuning is enabled).  ``preemptible`` is the number of workers
+    currently reclaimable from ASP-phase jobs above the preemption
+    floor — preemptive policies cap their reclaim requests at it, so a
+    request never exceeds what the fleet could actually free.
     """
 
     now: float = 0.0
     scale: float = 1.0
     store: PolicyStore | None = None
+    preemptible: int = 0
 
 
 class SchedulerPolicy:
@@ -197,7 +201,13 @@ class BestFitScheduler(SchedulerPolicy):
         if not queue:
             return 0
         head = min(queue, key=lambda request: (request.arrival, request.job_id))
-        return max(head.n_workers - free_workers, 0)
+        wanted = max(head.n_workers - free_workers, 0)
+        if context is not None:
+            # The simulator frees at most the reclaimable surplus anyway;
+            # capping here keeps the request honest without changing the
+            # outcome (the churn guard still decides feasibility).
+            wanted = min(wanted, context.preemptible)
+        return wanted
 
 
 class SloAwareScheduler(SchedulerPolicy):
@@ -249,7 +259,15 @@ class SloAwareScheduler(SchedulerPolicy):
             if request.deadline is None or request.kind != "train":
                 continue
             predicted = self._predict(request, scale, context)
-            if context.now + predicted > request.deadline:
+            # Feasibility boundary, pinned: a deadline strictly in the
+            # past is always infeasible; a deadline exactly at ``now``
+            # (e.g. ``deadline == arrival`` triaged on arrival) rejects
+            # only when the predicted service is positive — a job that
+            # would finish *exactly at* its deadline is admitted, and
+            # ``met_deadline`` symmetrically counts ``finish ==
+            # deadline`` as met.
+            slack = request.deadline - context.now
+            if slack < 0.0 or predicted > slack:
                 rejected.append(request)
                 continue
             if (

@@ -117,3 +117,41 @@ class TestLoggingCadence:
         accuracy = session.evaluate_now()
         assert 0.0 <= accuracy <= 1.0
         assert session.tracker.final_accuracy == pytest.approx(accuracy)
+
+
+class TestFork:
+    """Session forks continue bit-identically and independently."""
+
+    def test_fork_continues_bit_identically(self):
+        session = make_session(n_workers=4)
+        ASPEngine().run(session, steps=30)
+        clone = session.fork()
+        ASPEngine().run(session, steps=30)
+        ASPEngine().run(clone, steps=30)
+        assert np.array_equal(session.ps.peek(), clone.ps.peek())
+        assert session.clock.now == clone.clock.now
+        assert session.step == clone.step
+        assert list(session.telemetry.loss_log) == list(
+            clone.telemetry.loss_log
+        )
+
+    def test_fork_shares_substrate_and_copies_mutable_state(self):
+        session = make_session()
+        ASPEngine().run(session, steps=10)
+        clone = session.fork()
+        assert clone.dataset is session.dataset
+        assert clone.model is session.model
+        assert clone.timing is session.timing
+        assert clone.stragglers is session.stragglers
+        assert clone.ps is not session.ps
+        assert clone.clock is not session.clock
+        assert clone.cluster is not session.cluster
+
+    def test_fork_is_independent(self):
+        session = make_session()
+        ASPEngine().run(session, steps=10)
+        clone = session.fork()
+        before = session.ps.peek().copy()
+        ASPEngine().run(clone, steps=40)
+        assert np.array_equal(session.ps.peek(), before)
+        assert session.step == 10

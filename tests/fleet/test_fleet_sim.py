@@ -166,6 +166,122 @@ class TestPreemption:
         assert big.queue_delay > 0.0  # had to wait for a full slot
 
 
+class TestPreemptionFloorAudit:
+    """Satellite regressions: floor round-trips and per-pass counting."""
+
+    @pytest.fixture(scope="class")
+    def floor_round_trip(self):
+        # One 8-worker ASP job holds the pool's elastic capacity; a
+        # 14-worker job forces a shrink to exactly the preemption
+        # floor (8 - 6 = 2) and its completion hands the workers back.
+        trace = (
+            JobRequest(job_id=0, arrival=0.0, setup_index=1, n_workers=8,
+                       sync_policy="asp"),
+            JobRequest(job_id=1, arrival=1.0, setup_index=3, n_workers=14,
+                       sync_policy="sync-switch"),
+        )
+        return simulate_fleet(
+            config(
+                scheduler="best-fit", trace=trace, pool_size=16, n_jobs=None
+            )
+        )
+
+    def test_shrink_to_floor_then_restore_returns_full_allocation(
+        self, floor_round_trip
+    ):
+        victim = next(
+            record for record in floor_round_trip.jobs if record.job_id == 0
+        )
+        assert victim.preemptions >= 1
+        workers = [row["workers"] for row in victim.allocations]
+        assert min(workers) == 2, "victim must shrink to exactly the floor"
+        assert workers[-1] == victim.demand, (
+            "restores must return the victim to its original allocation"
+        )
+        assert victim.restores >= 1
+
+    def test_repeated_shrinks_in_one_pass_count_one_preemption(self):
+        # Queue [12w, 11w] drains in a single scheduling pass when the
+        # 6-worker filler completes: the 20-worker victim is shrunk
+        # twice within that pass (once per admitted job) and must
+        # count a single preemption — not one per shrink.
+        trace = (
+            JobRequest(job_id=0, arrival=0.0, setup_index=2, n_workers=20,
+                       sync_policy="sync-switch"),
+            JobRequest(job_id=1, arrival=0.0, setup_index=1, n_workers=6,
+                       sync_policy="asp"),
+            JobRequest(job_id=2, arrival=1.0, setup_index=1, n_workers=12,
+                       sync_policy="asp"),
+            JobRequest(job_id=3, arrival=2.0, setup_index=1, n_workers=11,
+                       sync_policy="asp"),
+        )
+        summary = simulate_fleet(
+            config(
+                scheduler="best-fit", trace=trace, pool_size=30, n_jobs=None
+            )
+        )
+        victim = next(
+            record for record in summary.jobs if record.job_id == 0
+        )
+        shrinks = [
+            row for row in victim.allocations if row["cause"] == "preempt"
+        ]
+        passes = {row["time"] for row in shrinks}
+        assert len(shrinks) > len(passes), (
+            "fixture must shrink the victim twice within one pass"
+        )
+        assert victim.preemptions == len(passes), (
+            "preemptions must count scheduling passes, not individual "
+            "shrinks within a pass"
+        )
+
+    def test_stretch_factor_does_not_compound_across_same_pass_shrinks(self):
+        # Stretch model: two same-instant shrinks must cost exactly the
+        # same remaining-tail arithmetic as one direct shrink to the
+        # final size (no compounding of the n/(n-k) factor).
+        trace = (
+            JobRequest(job_id=0, arrival=0.0, setup_index=1, n_workers=8,
+                       sync_policy="asp"),
+        )
+        simulator = FleetSimulator(
+            config(
+                scheduler="fifo", trace=trace, pool_size=16, n_jobs=None,
+                resim="stretch",
+            )
+        )
+        simulator.run()
+        # Rebuild a running job and replay the two shrink paths on the
+        # recorded telemetry.
+        fresh = FleetSimulator(
+            config(
+                scheduler="fifo", trace=trace, pool_size=16, n_jobs=None,
+                resim="stretch",
+            )
+        )
+        fresh._advance(0.0)
+        fresh._queue.append(fresh.stream[0])
+        fresh._schedule(0.0)
+        job = fresh._running[0]
+        job.enter_asp(5.0)
+        fresh._resize(job, 6, 5.0, "preempt")
+        fresh._resize(job, 2, 5.0, "preempt")
+        stepwise = job.finish_time(5.0)
+
+        again = FleetSimulator(
+            config(
+                scheduler="fifo", trace=trace, pool_size=16, n_jobs=None,
+                resim="stretch",
+            )
+        )
+        again._advance(0.0)
+        again._queue.append(again.stream[0])
+        again._schedule(0.0)
+        direct = again._running[0]
+        direct.enter_asp(5.0)
+        again._resize(direct, 2, 5.0, "preempt")
+        assert stepwise == pytest.approx(direct.finish_time(5.0))
+
+
 class TestValidation:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ConfigurationError):

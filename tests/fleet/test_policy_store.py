@@ -202,3 +202,125 @@ class TestPredictService:
         assert store.predict_service(trial, 0.008) == pytest.approx(
             conservative
         )
+
+
+class TestPersistence:
+    """Satellite: JSON save/load with a version/compat check."""
+
+    def populated_store(self) -> PolicyStore:
+        store = PolicyStore()
+        store.begin_search(CLS)
+        store.install(make_policy())
+        store.note_recurrence(CLS, 55.0)
+        store.note_recurrence(CLS, 65.0)
+        other = JobClass(setup_index=2, n_workers=16)
+        store.begin_search(other)
+        store.install(
+            ClassPolicy(
+                job_class=other, percent=12.5, target_accuracy=0.85,
+                bsp_time=400.0, policy_time=120.0, search_cost=900.0,
+                n_trials=4, tuned_at=10.0,
+            )
+        )
+        return store
+
+    def test_payload_round_trip_preserves_everything(self):
+        store = self.populated_store()
+        again = PolicyStore.from_payload(store.to_payload())
+        assert again.report() == store.report()
+        request = JobRequest(job_id=0, arrival=0.0, sync_policy="sync-switch")
+        assert again.predict_service(request, 0.008) == store.predict_service(
+            request, 0.008
+        )
+        assert again.realized_service_mean(CLS) == pytest.approx(60.0)
+        assert again.recurrences(CLS) == 2
+
+    def test_file_round_trip(self, tmp_path):
+        store = self.populated_store()
+        path = store.save(tmp_path / "store.json")
+        again = PolicyStore.load(path)
+        assert again.to_payload() == store.to_payload()
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        store = self.populated_store()
+        payload = store.to_payload()
+        payload["version"] = 99
+        target = tmp_path / "future.json"
+        import json
+
+        target.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            PolicyStore.load(target)
+
+    def test_missing_file_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PolicyStore.load(tmp_path / "absent.json")
+
+    def test_malformed_class_entry_rejected(self):
+        from repro.errors import ConfigurationError
+
+        payload = self.populated_store().to_payload()
+        del payload["classes"][0]["bsp_time"]
+        with pytest.raises(ConfigurationError):
+            PolicyStore.from_payload(payload)
+
+    def test_in_flight_searches_not_persisted(self):
+        store = PolicyStore()
+        store.begin_search(CLS)
+        again = PolicyStore.from_payload(store.to_payload())
+        assert not again.is_searching(CLS)
+        assert again.lookup(CLS) is None
+
+    def test_warm_store_skips_the_search_in_a_fleet_run(self):
+        """The paper's (Yes, 0, r) setting: a warm-started recurring
+        stream reuses the persisted policy and never searches."""
+        from repro.fleet import FleetConfig, FleetSimulator
+
+        store = PolicyStore()
+        store.begin_search(CLS)
+        store.install(make_policy(percent=6.25))
+        summary = FleetSimulator(
+            FleetConfig(
+                scenario="rush", scheduler="fifo",
+                sync_policy="sync-switch", seed=0, scale=0.008, n_jobs=2,
+                tune=True,
+            ),
+            store=store,
+        ).run()
+        assert summary.n_search_jobs == 0, "warm class must not re-search"
+        assert all(record.tuned for record in summary.jobs)
+        assert store.recurrences(CLS) == 2
+
+    def test_duplicate_class_entries_rejected_as_configuration_error(self):
+        from repro.errors import ConfigurationError
+
+        payload = self.populated_store().to_payload()
+        payload["classes"].append(dict(payload["classes"][0]))
+        with pytest.raises(ConfigurationError):
+            PolicyStore.from_payload(payload)
+
+    def test_scale_mismatch_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        store = self.populated_store()
+        path = store.save(tmp_path / "store.json", scale=0.008)
+        assert PolicyStore.load(path, scale=0.008).report() == store.report()
+        with pytest.raises(ConfigurationError):
+            PolicyStore.load(path, scale=0.02)
+
+    def test_scale_check_skipped_when_undeclared(self, tmp_path):
+        store = self.populated_store()
+        path = store.save(tmp_path / "store.json")  # no scale stamped
+        assert PolicyStore.load(path, scale=0.02).report() == store.report()
+
+    def test_malformed_breakeven_rejected(self):
+        from repro.errors import ConfigurationError
+
+        payload = self.populated_store().to_payload()
+        payload["classes"][0]["breakeven_recurrence"] = "oops"
+        with pytest.raises(ConfigurationError):
+            PolicyStore.from_payload(payload)

@@ -1,0 +1,253 @@
+"""Fleet-level tests for elastic re-simulation (``resim=exact``).
+
+Pins the PR acceptance criteria:
+
+* ``resim=exact`` with zero allocation changes is **bit-identical** to
+  ``resim=stretch`` — full-summary equality at jobs=1 and jobs=N, plus
+  sha256 golden hashes committed in
+  ``tests/data/fleet_golden_hashes.json``;
+* a preemption-heavy stream (rush under best-fit) shows measurably
+  different per-job accuracy and JCT under ``resim=exact``, while its
+  never-preempted jobs stay bit-identical.
+
+The golden hashes are exact float bit patterns; like the distsim
+golden suite, set ``REPRO_GOLDEN_SKIP=1`` on machines whose BLAS
+rounds differently.  Regenerate after an intentional numeric change::
+
+    PYTHONPATH=src python tests/fleet/test_resim.py regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import FleetConfig, FleetSummary, simulate_fleet
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parents[1] / "data" / "fleet_golden_hashes.json"
+)
+SCALE = 0.008
+
+#: Preemption-free golden cells (FIFO never preempts): exact == stretch
+#: == the committed hash, at a single-job and a multi-job stream.
+GOLDEN_CELLS = {"jobs=1": 1, "jobs=4": 4}
+
+
+def config(**overrides) -> FleetConfig:
+    base = {
+        "scenario": "rush",
+        "scheduler": "fifo",
+        "sync_policy": "sync-switch",
+        "seed": 0,
+        "scale": SCALE,
+        "n_jobs": 4,
+    }
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def summary_hash(summary: FleetSummary) -> str:
+    payload = json.dumps(summary.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _skip_unless_golden_machine():
+    if os.environ.get("REPRO_GOLDEN_SKIP", "") not in ("", "0"):
+        pytest.skip("REPRO_GOLDEN_SKIP set (BLAS float bits differ here)")
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/fleet/test_resim.py regen`"
+    )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def preempted():
+    """Exact and stretch summaries of a preemption-heavy stream."""
+    return {
+        mode: simulate_fleet(
+            config(scheduler="best-fit", n_jobs=None, resim=mode)
+        )
+        for mode in ("exact", "stretch")
+    }
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CELLS))
+    def test_exact_matches_stretch_bitwise(self, name):
+        """No allocation changes -> the two timeline models coincide."""
+        n = GOLDEN_CELLS[name]
+        exact = simulate_fleet(config(n_jobs=n, resim="exact"))
+        stretch = simulate_fleet(config(n_jobs=n, resim="stretch"))
+        assert exact.preemptions == 0 and exact.restores == 0
+        assert exact.to_dict() == stretch.to_dict()
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CELLS))
+    @pytest.mark.parametrize("resim", ["exact", "stretch"])
+    def test_committed_golden_hash(self, name, resim, golden):
+        _skip_unless_golden_machine()
+        summary = simulate_fleet(
+            config(n_jobs=GOLDEN_CELLS[name], resim=resim)
+        )
+        assert summary_hash(summary) == golden["hashes"][name], (
+            f"{name} ({resim}): fleet summary changed vs the committed "
+            "golden hash — the preemption-free fleet timeline is no "
+            "longer bit-stable"
+        )
+
+    def test_exact_mode_is_reproducible(self):
+        first = simulate_fleet(config(resim="exact"))
+        second = simulate_fleet(config(resim="exact"))
+        assert first.to_dict() == second.to_dict()
+
+
+class TestPreemptedDelta:
+    def test_stream_actually_preempts(self, preempted):
+        assert preempted["exact"].preemptions > 0
+        assert preempted["exact"].restores > 0
+        assert (
+            preempted["exact"].preemptions
+            == preempted["stretch"].preemptions
+        )
+
+    def test_preempted_jobs_differ_measurably(self, preempted):
+        """The bug being fixed: stretch reports the unpreempted run."""
+        stretch = {job.job_id: job for job in preempted["stretch"].jobs}
+        deltas = []
+        for job in preempted["exact"].jobs:
+            if job.preemptions == 0 and job.restores == 0:
+                continue
+            other = stretch[job.job_id]
+            deltas.append(
+                (abs(job.jct - other.jct), job.accuracy, other.accuracy)
+            )
+        assert deltas, "fixture must contain preempted jobs"
+        assert any(delta > 0.1 for delta, _, _ in deltas)
+        assert any(exact != legacy for _, exact, legacy in deltas), (
+            "re-simulated tails must shift at least one reported accuracy"
+        )
+
+    def test_unpreempted_jobs_stay_identical(self, preempted):
+        stretch = {job.job_id: job for job in preempted["stretch"].jobs}
+        untouched = [
+            job
+            for job in preempted["exact"].jobs
+            if job.preemptions == 0 and job.restores == 0
+        ]
+        assert untouched, "fixture must contain unpreempted jobs"
+        for job in untouched:
+            assert job.to_dict() == stretch[job.job_id].to_dict()
+
+    def test_allocation_history_records_every_resize(self, preempted):
+        for job in preempted["exact"].jobs:
+            causes = [row["cause"] for row in job.allocations]
+            assert causes[0] == "admit"
+            assert causes.count("preempt") >= job.preemptions
+            assert causes.count("restore") == job.restores
+            times = [row["time"] for row in job.allocations]
+            assert times == sorted(times)
+            segments = job.allocation_segments()
+            assert segments[0]["start"] == job.start
+            assert segments[-1]["end"] == job.finish
+            for span, nxt in zip(segments, segments[1:]):
+                assert span["end"] == nxt["start"]
+
+    def test_summary_roundtrip_keeps_allocations(self, preempted):
+        summary = preempted["exact"]
+        again = FleetSummary.from_dict(summary.to_dict())
+        assert again.to_dict() == summary.to_dict()
+        record = next(job for job in again.jobs if job.preemptions > 0)
+        assert record.allocations
+
+
+class TestContentionReslice:
+    def test_empty_reslice_replaces_the_stale_slice(self):
+        """A resize whose correct new slice is empty must not keep the
+        admission-time slice of the old physical mapping alive."""
+        from repro.distsim.stragglers import StragglerEvent, StragglerSchedule
+        from repro.fleet import FleetSimulator, JobRequest
+
+        trace = (
+            JobRequest(job_id=0, arrival=0.0, setup_index=1, n_workers=8,
+                       sync_policy="asp"),
+        )
+        simulator = FleetSimulator(
+            config(
+                scheduler="fifo", trace=trace, pool_size=16, n_jobs=None,
+                contention=False,
+            )
+        )
+        # One early burst on the job's last worker: present in the
+        # admission slice, long gone by the resize instant.
+        simulator.contention = StragglerSchedule(
+            [StragglerEvent(worker=7, start=0.0, duration=0.5,
+                            slow_factor=7.0)]
+        )
+        simulator._advance(0.0)
+        simulator._queue.append(simulator.stream[0])
+        simulator._schedule(0.0)
+        job = simulator._running[0]
+        assert any(
+            event.slow_factor == 7.0
+            for event in job.sim.session.stragglers.events
+        )
+        job.enter_asp(0.0)
+        simulator._resize(job, 6, 2.0, "preempt")
+        assert not any(
+            event.slow_factor == 7.0
+            for event in job.sim.session.stragglers.events
+        ), "stale admission slice survived an empty re-slice"
+
+
+class TestValidation:
+    def test_unknown_resim_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config(resim="approximate")
+
+
+def _regenerate() -> None:
+    hashes = {
+        name: summary_hash(simulate_fleet(config(n_jobs=n, resim="exact")))
+        for name, n in sorted(GOLDEN_CELLS.items())
+    }
+    import numpy as np
+
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(
+            {
+                "scenario": "rush",
+                "scheduler": "fifo",
+                "sync_policy": "sync-switch",
+                "seed": 0,
+                "scale": SCALE,
+                "numpy": np.__version__,
+                "hashes": hashes,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {GOLDEN_PATH}")
+    for name, value in hashes.items():
+        print(f"  {name}: {value}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 2 and sys.argv[1] == "regen":
+        _regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)

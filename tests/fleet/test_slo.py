@@ -137,6 +137,108 @@ class TestSloTriage:
         assert degraded == {}
 
 
+class TestTriageBoundary:
+    """Satellite: the ``deadline == now`` feasibility boundary, pinned."""
+
+    def test_deadline_equal_to_arrival_rejected_when_service_positive(self):
+        # deadline == arrival means zero slack: any positive predicted
+        # service makes the job infeasible at its own arrival instant.
+        scheduler = SloAwareScheduler()
+        request = deadline_job(0, arrival=25.0, deadline=25.0)
+        context = SchedulerContext(now=25.0, scale=SCALE, store=PolicyStore())
+        rejected, _ = scheduler.triage([request], 16, SCALE, context)
+        assert rejected == [request]
+
+    def test_deadline_exactly_at_predicted_finish_admitted(self):
+        # finish == deadline counts as met (met_deadline uses <=), so
+        # triage must symmetrically admit at equality.
+        scheduler = SloAwareScheduler()
+        store = tuned_store(policy_time=30.0)
+        request = deadline_job(0, arrival=0.0, deadline=40.0)
+        context = SchedulerContext(now=10.0, scale=SCALE, store=store)
+        rejected, degraded = scheduler.triage([request], 16, SCALE, context)
+        assert rejected == []
+        assert degraded == {}
+
+    def test_deadline_just_inside_predicted_finish_rejected(self):
+        scheduler = SloAwareScheduler()
+        store = tuned_store(policy_time=30.0)
+        request = deadline_job(0, arrival=0.0, deadline=39.999)
+        context = SchedulerContext(now=10.0, scale=SCALE, store=store)
+        rejected, _ = scheduler.triage([request], 16, SCALE, context)
+        assert rejected == [request]
+
+    def test_finish_exactly_at_deadline_counts_met(self):
+        from repro.fleet import JobRecord
+
+        record = JobRecord(
+            job_id=0, setup_index=1, sync_policy="sync-switch", percent=6.25,
+            demand=8, arrival=0.0, start=0.0, finish=50.0, preemptions=0,
+            restores=0, accuracy=0.9, diverged=False, completed_steps=10,
+            images=100, deadline=50.0,
+        )
+        assert record.met_deadline is True
+
+    def test_degraded_jobs_count_once_in_attainment(self):
+        """Each deadline job contributes exactly one attainment sample,
+        whatever its triage path (degraded, rejected, plain)."""
+        summary = simulate_fleet(
+            FleetConfig(
+                scenario="deadline",
+                scheduler="slo",
+                sync_policy="sync-switch",
+                seed=0,
+                scale=SCALE,
+                n_jobs=4,
+            )
+        )
+        deadline_records = [
+            record
+            for record in summary.jobs
+            if record.deadline is not None and record.kind == "train"
+        ]
+        ids = [record.job_id for record in deadline_records]
+        assert len(ids) == len(set(ids)), "one record per deadline job"
+        assert summary.n_deadline_jobs == len(set(ids))
+        met = sum(1 for record in deadline_records if record.met_deadline)
+        assert summary.slo_attainment == pytest.approx(
+            met / summary.n_deadline_jobs
+        )
+        # A degraded job is still a single record: degraded counts and
+        # attainment samples can never exceed the stream's job count.
+        assert summary.n_degraded <= summary.n_jobs
+        for record in deadline_records:
+            if record.degraded:
+                assert record.outcome == "completed"
+
+
+class TestPredictedJctUpdate:
+    """Satellite: realized recurrences update the store's predictions."""
+
+    def test_prediction_moves_to_realized_mean(self):
+        store = tuned_store(policy_time=30.0)
+        request = deadline_job(0, deadline=10_000.0)
+        assert store.predict_service(request, SCALE) == pytest.approx(30.0)
+        store.note_recurrence(JobClass(1, 8), 42.0)
+        store.note_recurrence(JobClass(1, 8), 48.0)
+        assert store.predict_service(request, SCALE) == pytest.approx(45.0)
+        assert store.realized_service_mean(JobClass(1, 8)) == pytest.approx(
+            45.0
+        )
+
+    def test_triage_uses_updated_prediction(self):
+        # Realized fleet service (preemption stretches included) is
+        # slower than the search's clean measurement: a deadline that
+        # the stale prediction would accept must now be rejected.
+        scheduler = SloAwareScheduler()
+        store = tuned_store(policy_time=30.0)
+        store.note_recurrence(JobClass(1, 8), 90.0)
+        request = deadline_job(0, deadline=60.0)
+        context = SchedulerContext(now=0.0, scale=SCALE, store=store)
+        rejected, _ = scheduler.triage([request], 16, SCALE, context)
+        assert rejected == [request]
+
+
 class TestSloAdmission:
     def test_earliest_deadline_first(self):
         scheduler = SloAwareScheduler()

@@ -198,3 +198,64 @@ def test_fleet_slo_command_tiny(capsys, tmp_path, monkeypatch):
     out = capsys.readouterr().out
     assert "slo" in out
     assert "slo_attained" in out
+
+
+def test_parser_resim_and_policy_store_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["fleet", "--resim", "stretch", "--policy-store", "store.json"]
+    )
+    assert args.resim == "stretch"
+    assert args.policy_store == "store.json"
+    defaults = parser.parse_args(["fleet"])
+    assert defaults.resim == "exact"
+    assert defaults.policy_store is None
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fleet", "--resim", "approximate"])
+
+
+def test_fleet_policy_store_requires_single_scheduler(capsys):
+    assert main(["fleet", "--policy-store", "s.json",
+                 "--policy", "sync-switch"]) == 2
+    assert "--scheduler" in capsys.readouterr().err
+
+
+def test_fleet_policy_store_requires_policy_without_tune(capsys):
+    assert main(["fleet", "--policy-store", "s.json",
+                 "--scheduler", "fifo"]) == 2
+    assert "--policy" in capsys.readouterr().err
+
+
+def test_fleet_policy_store_rejects_seeds(capsys):
+    assert main(["fleet", "--policy-store", "s.json", "--scheduler", "fifo",
+                 "--policy", "bsp", "--seeds", "2"]) == 2
+    assert "--seeds" in capsys.readouterr().err
+
+
+def test_fleet_policy_store_round_trip(capsys, tmp_path, monkeypatch):
+    """Cold tune populates the store; a warm rerun reuses it (0 searches)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    store_path = tmp_path / "store.json"
+    out_path = tmp_path / "summary.json"
+    argv = ["fleet", "--scenario", "surge", "--jobs", "1", "--tune",
+            "--scheduler", "fifo", "--policy-store", str(store_path),
+            "--out", str(out_path)]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "0 warm class(es) loaded, 1 persisted" in cold
+    assert store_path.exists()
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "1 warm class(es) loaded, 1 persisted" in warm
+    assert "1 recurrence(s)" in warm
+
+
+def test_fleet_policy_store_scale_mismatch_rejected(capsys, tmp_path):
+    from repro.fleet import PolicyStore
+
+    store_path = tmp_path / "store.json"
+    PolicyStore().save(store_path, scale=0.008)
+    assert main(["fleet", "--policy-store", str(store_path),
+                 "--scheduler", "fifo", "--policy", "bsp",
+                 "--scale", "0.02"]) == 2
+    assert "not comparable across scales" in capsys.readouterr().err
