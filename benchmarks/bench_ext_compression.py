@@ -3,36 +3,69 @@
 The paper's related work (Section VII) marks TernGrad/QSGD-style
 gradient compression as orthogonal work that "might be combined with
 Sync-Switch to achieve further training speedup".  This benchmark
-exercises that combination: the P1 switching plan with dense, ternary
-and QSGD-compressed ASP phases.  Expected shape: compressed variants
-finish faster (smaller pushes) at near-identical accuracy (unbiased
-quantization adds modest gradient variance).
+exercises that combination two ways: the legacy ASP ``compression``
+option (quantization noise interleaved with the jitter stream) and the
+registry's ``casp`` engine, which draws from a dedicated per-worker
+compression stream and is the protocol N-segment schedules use.
+Expected shape: compressed variants finish faster (smaller pushes) at
+near-identical accuracy (unbiased quantization adds modest gradient
+variance); ``casp`` matches legacy qsgd's time while keeping the
+timing/data streams bit-identical to plain ASP.
+
+Besides the rendered table, the accuracy/time/bits trade-off lands in
+``results/ext_compression.json`` for the perf trajectory.
 """
+
+import json
+from pathlib import Path
 
 from repro.experiments.aggregate import accuracy_stats, time_stats
 from repro.experiments.reporting import Report
 from repro.experiments.setups import SETUPS
+from repro.mlcore.compression import make_compressor
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+#: (row label, engine protocol, legacy compression option or None)
+VARIANTS = (
+    ("dense", "asp", None),
+    ("ternary", "asp", "ternary"),
+    ("qsgd", "asp", "qsgd"),
+    ("casp", "casp", None),
+)
+
+
+def _bits_per_coordinate(compression) -> float:
+    if compression is None:
+        return 32.0
+    return make_compressor(compression).bits_per_coordinate()
 
 
 def _compression_report(runner) -> Report:
     setup = SETUPS[1]
     rows = []
-    for compression in ("dense", "ternary", "qsgd"):
+    for label, protocol, compression in VARIANTS:
         spec = {
             "kind": "custom_static",
-            "protocol": "asp",
+            "protocol": protocol,
             "steps_scale": 0.5,
         }
-        if compression != "dense":
+        if compression is not None:
             spec["options"] = {"compression": compression}
         runs = runner.run_many(setup, spec)
         stats = accuracy_stats(runs) | time_stats(runs)
         throughputs = [
-            run.segment_throughput("asp") for run in runs if not run.diverged
+            run.segment_throughput(protocol)
+            for run in runs
+            if not run.diverged
         ]
+        bits = _bits_per_coordinate(
+            "qsgd" if label == "casp" else compression
+        )
         rows.append(
             {
-                "compression": compression,
+                "compression": label,
+                "bits_per_coord": round(bits, 3),
                 "accuracy": stats["accuracy_mean"],
                 "time_s": stats["time_mean"],
                 "imgs_per_s": (
@@ -46,14 +79,57 @@ def _compression_report(runner) -> Report:
     return Report(
         ident="Extension: compression",
         title="Gradient compression in the ASP phase (setup 1)",
-        columns=["compression", "accuracy", "time_s", "imgs_per_s", "diverged"],
+        columns=[
+            "compression",
+            "bits_per_coord",
+            "accuracy",
+            "time_s",
+            "imgs_per_s",
+            "diverged",
+        ],
         rows=rows,
         notes=[
             "TernGrad/QSGD quantization is unbiased: accuracy holds while "
             "communication (and hence ASP cycle time) shrinks",
+            "casp is the registry engine schedules use: default QSGD on a "
+            "dedicated compression RNG stream, jitter/data streams "
+            "bit-identical to plain ASP",
             "paper Section VII: orthogonal techniques that can combine "
             "with Sync-Switch",
         ],
+    )
+
+
+def _record_tradeoff(report) -> None:
+    dense = next(
+        row for row in report.rows if row["compression"] == "dense"
+    )
+    payload = {
+        "rows": report.rows,
+        "tradeoff": [
+            {
+                "compression": row["compression"],
+                "compression_ratio": (
+                    round(32.0 / row["bits_per_coord"], 3)
+                ),
+                "speedup_vs_dense": (
+                    round(dense["time_s"] / row["time_s"], 3)
+                    if row["time_s"]
+                    else None
+                ),
+                "accuracy_delta_vs_dense": (
+                    round(row["accuracy"] - dense["accuracy"], 4)
+                    if row["accuracy"] is not None
+                    and dense["accuracy"] is not None
+                    else None
+                ),
+            }
+            for row in report.rows
+        ],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ext_compression.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
 
 
@@ -63,4 +139,5 @@ def bench_ext_compression(benchmark, runner, emit):
         warmup_rounds=0,
     )
     emit(report, "ext_compression")
+    _record_tradeoff(report)
     assert report.rows, "artifact produced no measured rows"

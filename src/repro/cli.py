@@ -26,8 +26,8 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.search import OfflineTimingSearch, SearchConfig
-from repro.errors import ConfigurationError
+from repro.core.search import OfflineTimingSearch, ScheduleSearch, SearchConfig
+from repro.errors import ConfigurationError, SearchError
 from repro.experiments import (
     ARTIFACTS,
     SETUPS,
@@ -99,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--scale", type=float, default=0.02)
     search.add_argument("--runs", type=int, default=2)
     search.add_argument("--beta", type=float, default=0.01)
+    search.add_argument(
+        "--protocols",
+        action="append",
+        default=None,
+        metavar="SEQ",
+        help="comma-separated protocol schedule to search (e.g. "
+        "bsp,ssp,asp); repeat the flag to enumerate candidate "
+        "sequences (default: the two-phase bsp,asp switch search)",
+    )
     _add_jobs_argument(search)
 
     report = sub.add_parser(
@@ -184,6 +193,21 @@ def build_parser() -> argparse.ArgumentParser:
         "linear n/(n-k) model",
     )
     fleet.add_argument(
+        "--protocols",
+        default=None,
+        metavar="SEQ",
+        help="comma-separated protocol schedule for sync-switch stream "
+        "jobs (e.g. bsp,ssp,asp); with --tune the in-fleet search "
+        "tunes its per-segment fractions, otherwise give --fractions",
+    )
+    fleet.add_argument(
+        "--fractions",
+        default=None,
+        metavar="FRACS",
+        help="comma-separated per-segment step fractions aligned with "
+        "--protocols (e.g. 0.4,0.3,0.3; must sum to 1)",
+    )
+    fleet.add_argument(
         "--policy-store",
         default=None,
         metavar="PATH",
@@ -246,6 +270,14 @@ def _add_jobs_argument(subparser) -> None:
     )
 
 
+def _parse_protocols(value: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def _parse_fractions(value: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in value.split(",") if part.strip())
+
+
 def _cmd_run(args) -> int:
     setup = SETUPS[args.setup]
     percent = args.percent if args.percent is not None else setup.policy_percent
@@ -268,6 +300,14 @@ def _cmd_run(args) -> int:
 def _cmd_search(args) -> int:
     setup = SETUPS[args.setup]
     runner = ExperimentRunner(scale=args.scale, seeds=args.runs, jobs=args.jobs)
+    config = SearchConfig(
+        beta=args.beta,
+        max_settings=setup.search_max_settings,
+        runs_per_setting=args.runs,
+        bsp_runs=args.runs,
+    )
+    if args.protocols:
+        return _cmd_search_schedule(args, setup, runner, config)
 
     def trial(fraction: float, run_index: int):
         spec = {"kind": "switch", "percent": fraction * 100.0}
@@ -278,18 +318,54 @@ def _cmd_search(args) -> int:
         accuracy = 0.0 if result.diverged else (result.reported_accuracy or 0.0)
         return accuracy, result.total_time
 
-    config = SearchConfig(
-        beta=args.beta,
-        max_settings=setup.search_max_settings,
-        runs_per_setting=args.runs,
-        bsp_runs=args.runs,
-    )
     outcome = OfflineTimingSearch(trial, config).search()
     print(f"setup            : {setup.describe()}")
     print(f"found switch     : {outcome.switch_percent:g}%")
     print(f"target accuracy  : {outcome.target_accuracy:.4f}")
     print(f"sessions trained : {outcome.n_sessions}")
     print(f"search time      : {outcome.search_time:.0f} simulated seconds")
+    return 0
+
+
+def _cmd_search_schedule(args, setup, runner, config) -> int:
+    """The ``search --protocols`` path: N-segment schedule search."""
+    sequences = tuple(_parse_protocols(value) for value in args.protocols)
+
+    def trial(
+        protocols: tuple[str, ...], fractions: tuple[float, ...],
+        run_index: int,
+    ):
+        spec = {
+            "kind": "schedule",
+            "protocols": list(protocols),
+            "fractions": [float(value) for value in fractions],
+        }
+        runner.prefetch([(setup, spec)], seeds=args.runs)
+        result = runner.run(setup, spec, run_index)
+        accuracy = 0.0 if result.diverged else (result.reported_accuracy or 0.0)
+        return accuracy, result.total_time
+
+    try:
+        outcome = ScheduleSearch(trial, config, sequences).search()
+    except SearchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fractions = ", ".join(f"{value:g}" for value in outcome.fractions)
+    print(f"setup            : {setup.describe()}")
+    print(f"found schedule   : {outcome.describe()}")
+    print(f"fractions        : {fractions}")
+    print(f"target accuracy  : {outcome.target_accuracy:.4f}")
+    print(f"sessions trained : {outcome.n_sessions}")
+    print(f"search time      : {outcome.search_time:.0f} simulated seconds")
+    if len(outcome.candidates) > 1:
+        print("candidates:")
+        for candidate in outcome.candidates:
+            label = " -> ".join(name.upper() for name in candidate.protocols)
+            parts = ", ".join(f"{v:g}" for v in candidate.fractions)
+            print(
+                f"  {label}: fractions {parts}, "
+                f"expected {candidate.expected_time:.0f}s"
+            )
     return 0
 
 
@@ -332,14 +408,47 @@ def _cmd_fleet(args) -> int:
             file=sys.stderr,
         )
         return 2
+    protocols = _parse_protocols(args.protocols) if args.protocols else None
+    try:
+        fractions = (
+            _parse_fractions(args.fractions) if args.fractions else None
+        )
+    except ValueError:
+        print(
+            "error: --fractions must be comma-separated numbers "
+            "(e.g. 0.4,0.3,0.3)",
+            file=sys.stderr,
+        )
+        return 2
+    if fractions is not None and protocols is None:
+        print(
+            "error: --fractions needs --protocols to name the schedule "
+            "segments",
+            file=sys.stderr,
+        )
+        return 2
+    if protocols is not None and fractions is None and not args.tune:
+        print(
+            "error: --protocols without --tune needs --fractions (with "
+            "--tune the in-fleet search finds the fractions)",
+            file=sys.stderr,
+        )
+        return 2
+    if fractions is not None and args.tune:
+        print(
+            "error: --fractions fixes the schedule and cannot be "
+            "combined with --tune (which searches for it)",
+            file=sys.stderr,
+        )
+        return 2
     trace = load_trace(args.trace) if args.trace else None
     # A trace replaces the scenario stream entirely; label the run (and
     # its cache keys) accordingly instead of with the unused scenario.
     scenario = "trace" if trace is not None else args.scenario
     if args.policy_store:
-        return _cmd_fleet_store(args, scenario, trace)
+        return _cmd_fleet_store(args, scenario, trace, protocols, fractions)
     if args.tune:
-        return _cmd_fleet_tune(args, scenario, trace)
+        return _cmd_fleet_tune(args, scenario, trace, protocols)
     schedulers = (
         tuple(sorted(SCHEDULERS))
         if args.scheduler == "all"
@@ -360,6 +469,8 @@ def _cmd_fleet(args) -> int:
         trace=trace,
         jobs=args.procs,
         resim=args.resim,
+        protocols=protocols,
+        fractions=fractions,
     )
     print(render_report(fleet_report(grid, scenario)))
     target = write_fleet_summary(
@@ -369,7 +480,7 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
-def _cmd_fleet_store(args, scenario: str, trace) -> int:
+def _cmd_fleet_store(args, scenario: str, trace, protocols, fractions) -> int:
     """The ``fleet --policy-store`` path: one warm-startable stream.
 
     Loads the persisted :class:`~repro.fleet.PolicyStore` (when the
@@ -437,6 +548,8 @@ def _cmd_fleet_store(args, scenario: str, trace) -> int:
             trace=trace,
             tune=args.tune,
             resim=args.resim,
+            protocols=protocols,
+            fractions=fractions,
         ),
         store=store,
     )
@@ -468,7 +581,7 @@ def _cmd_fleet_store(args, scenario: str, trace) -> int:
     return 0
 
 
-def _cmd_fleet_tune(args, scenario: str, trace) -> int:
+def _cmd_fleet_tune(args, scenario: str, trace, protocols) -> int:
     """The ``fleet --tune`` path: amortized search comparison grid.
 
     Always compares the all-BSP baseline stream against the tuned
@@ -508,6 +621,7 @@ def _cmd_fleet_tune(args, scenario: str, trace) -> int:
         trace=trace,
         jobs=args.procs,
         resim=args.resim,
+        protocols=protocols,
     )
     payload = tuning_summary_payload(
         grid, (scenario,), seeds, args.scale, scheduler

@@ -2,7 +2,7 @@
 
 from repro.core.policies.config import ConfigurationPolicy, MOMENTUM_MODES
 from repro.core.policies.manager import PolicyManager
-from repro.core.policies.protocol import ProtocolPolicy
+from repro.core.policies.protocol import ProtocolPolicy, ProtocolSchedule
 from repro.core.policies.straggler import (
     BaselinePolicy,
     ElasticPolicy,
@@ -19,6 +19,7 @@ __all__ = [
     "GreedyPolicy",
     "PolicyManager",
     "ProtocolPolicy",
+    "ProtocolSchedule",
     "StragglerPolicy",
     "TimingPolicy",
 ]

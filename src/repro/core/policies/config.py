@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.policies.protocol import ProtocolPolicy
+from repro.distsim.engines import is_synchronous
 from repro.distsim.job import JobConfig
 from repro.errors import ConfigurationError
 from repro.mlcore.optim import (
@@ -59,7 +59,7 @@ class ConfigurationPolicy:
         """Segment options implementing the paper's adjustment rules."""
         if n_workers <= 0:
             raise ConfigurationError("n_workers must be positive")
-        if ProtocolPolicy.precision_rank(protocol) == 0:  # bsp
+        if is_synchronous(protocol):  # BSP-family: linear scaling rule
             return {
                 "batch_size": job.batch_size,
                 "lr_multiplier": float(n_workers),

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.policies.config import ConfigurationPolicy
-from repro.core.policies.protocol import ProtocolPolicy
+from repro.core.policies.protocol import ProtocolPolicy, ProtocolSchedule
 from repro.core.policies.straggler import StragglerPolicy
 from repro.core.policies.timing import TimingPolicy
 from repro.distsim.job import JobConfig, TrainingPlan
@@ -21,10 +21,18 @@ __all__ = ["PolicyManager"]
 
 @dataclass(frozen=True)
 class PolicyManager:
-    """The complete policy set for one training job."""
+    """The complete policy set for one training job.
+
+    ``protocol`` is either the paper's two-protocol
+    :class:`ProtocolPolicy` or an N-protocol
+    :class:`ProtocolSchedule`; both expose ``.protocols`` and pair
+    with the matching :class:`TimingPolicy` shape.
+    """
 
     timing: TimingPolicy
-    protocol: ProtocolPolicy = field(default_factory=ProtocolPolicy)
+    protocol: ProtocolPolicy | ProtocolSchedule = field(
+        default_factory=ProtocolPolicy
+    )
     config: ConfigurationPolicy = field(default_factory=ConfigurationPolicy)
     straggler: StragglerPolicy | None = None
 
@@ -37,7 +45,15 @@ class PolicyManager:
     def describe(self) -> str:
         """Human-readable policy summary (Table I notation)."""
         online = self.straggler.name if self.straggler else "none"
-        return (
-            f"([{self.protocol.first.upper()}, {self.protocol.second.upper()}], "
-            f"{self.timing.switch_percent:g}%, online={online})"
+        names = ", ".join(
+            protocol.upper() for protocol in self.protocol.protocols
         )
+        if self.timing.fractions is None:
+            return (
+                f"([{names}], "
+                f"{self.timing.switch_percent:g}%, online={online})"
+            )
+        shares = "/".join(
+            f"{fraction * 100:g}%" for fraction in self.timing.fractions
+        )
+        return f"([{names}], {shares}, online={online})"

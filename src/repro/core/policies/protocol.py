@@ -8,35 +8,42 @@ and the learning rate is high — destabilise the run, and time spent in
 early ASP is wasted even if BSP follows.
 
 Sync-Switch is agnostic to the concrete protocols (Section VI), so the
-policy accepts any precise->fast pair drawn from the engine registry
-(e.g. SSP->ASP), defaulting to the paper's BSP->ASP.
+policy layer derives everything from the engine registry
+(:mod:`repro.distsim.engines`): :class:`ProtocolPolicy` is the paper's
+two-protocol pair, and :class:`ProtocolSchedule` generalises it to an
+ordered sequence of N protocols whose precision must decrease
+monotonically over the run (the same Remark A.3 argument applied
+segment-wise).  Both keep an ``allow_reversed`` escape hatch for the
+Fig. 5a ablation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.distsim.engines import known_protocols, precision_rank
 from repro.errors import ConfigurationError
 
-__all__ = ["ProtocolPolicy"]
+__all__ = ["ProtocolPolicy", "ProtocolSchedule"]
 
-#: Protocols ordered from most precise to most asynchronous.
-_PRECISION_ORDER = ("bsp", "ssp", "dssp", "asp")
+
+def _check_known(protocol: str) -> None:
+    if protocol not in known_protocols():
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; known: {known_protocols()}"
+        )
 
 
 @dataclass(frozen=True)
 class ProtocolPolicy:
-    """The ordered protocol pair used by a switching plan."""
+    """The ordered protocol pair used by a two-phase switching plan."""
 
     first: str = "bsp"
     second: str = "asp"
 
     def __post_init__(self):
         for protocol in (self.first, self.second):
-            if protocol not in _PRECISION_ORDER:
-                raise ConfigurationError(
-                    f"unknown protocol {protocol!r}; known: {_PRECISION_ORDER}"
-                )
+            _check_known(protocol)
         if self.first == self.second:
             raise ConfigurationError(
                 "protocol policy needs two distinct protocols"
@@ -49,11 +56,14 @@ class ProtocolPolicy:
                 "Use allow_reversed() only for ablation studies."
             )
 
+    @property
+    def protocols(self) -> tuple[str, ...]:
+        """The ordered protocol sequence (pair form)."""
+        return (self.first, self.second)
+
     def follows_paper_order(self) -> bool:
         """True when ``first`` is more precise than ``second``."""
-        return _PRECISION_ORDER.index(self.first) < _PRECISION_ORDER.index(
-            self.second
-        )
+        return precision_rank(self.first) < precision_rank(self.second)
 
     @classmethod
     def allow_reversed(cls, first: str, second: str) -> "ProtocolPolicy":
@@ -69,7 +79,68 @@ class ProtocolPolicy:
 
     @staticmethod
     def precision_rank(protocol: str) -> int:
-        """Lower rank = more precise synchronization."""
-        if protocol not in _PRECISION_ORDER:
-            raise ConfigurationError(f"unknown protocol {protocol!r}")
-        return _PRECISION_ORDER.index(protocol)
+        """Lower rank = more precise synchronization (registry-derived)."""
+        return precision_rank(protocol)
+
+
+@dataclass(frozen=True)
+class ProtocolSchedule:
+    """An ordered sequence of N protocols for an N-segment plan.
+
+    The registry-derived generalisation of :class:`ProtocolPolicy`:
+    precision must decrease strictly across the sequence (each switch
+    trades precision for speed, never the other way), adjacent
+    duplicates are rejected, and a single-protocol schedule expresses
+    the static baselines.  The two-protocol schedule is exactly the
+    paper's policy pair.
+    """
+
+    protocols: tuple[str, ...] = ("bsp", "asp")
+
+    def __post_init__(self):
+        protocols = tuple(self.protocols)
+        object.__setattr__(self, "protocols", protocols)
+        if not protocols:
+            raise ConfigurationError(
+                "a protocol schedule needs at least one protocol"
+            )
+        for protocol in protocols:
+            _check_known(protocol)
+        for earlier, later in zip(protocols, protocols[1:]):
+            if earlier == later:
+                raise ConfigurationError(
+                    f"adjacent duplicate protocol {earlier!r} in schedule; "
+                    "merge the segments instead"
+                )
+        if not self.follows_paper_order():
+            raise ConfigurationError(
+                f"schedule {' -> '.join(protocols)} runs a less precise "
+                "protocol before a more precise one; the paper's protocol "
+                "policy (Section IV-A, Remark A.3) requires monotonically "
+                "decreasing precision. Use allow_reversed() only for "
+                "ablation studies."
+            )
+
+    @property
+    def n_segments(self) -> int:
+        """Number of protocol segments in the schedule."""
+        return len(self.protocols)
+
+    def follows_paper_order(self) -> bool:
+        """True when precision decreases strictly across the sequence."""
+        ranks = [precision_rank(protocol) for protocol in self.protocols]
+        return all(a < b for a, b in zip(ranks, ranks[1:]))
+
+    def describe(self) -> str:
+        """Human-readable sequence, e.g. ``bsp -> ssp -> asp``."""
+        return " -> ".join(self.protocols)
+
+    @classmethod
+    def allow_reversed(cls, protocols) -> "ProtocolSchedule":
+        """Escape hatch mirroring :meth:`ProtocolPolicy.allow_reversed`."""
+        sequence = tuple(protocols)
+        for protocol in sequence:
+            _check_known(protocol)
+        schedule = object.__new__(cls)
+        object.__setattr__(schedule, "protocols", sequence)
+        return schedule

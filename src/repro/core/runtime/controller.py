@@ -28,6 +28,7 @@ from repro.core.runtime.detector import StragglerDetector
 from repro.core.runtime.hooks import HookManager
 from repro.core.runtime.profiler import ThroughputProfiler
 from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.distsim.engines import synchronous_protocols
 from repro.distsim.job import JobConfig, Segment
 from repro.distsim.stragglers import StragglerSchedule
 from repro.distsim.telemetry import TrainingResult
@@ -97,13 +98,13 @@ class SyncSwitchController:
         except DivergenceError:
             pass
         result = self.trainer.finalize(session, plan)
+        precise_steps = self._synchronous_steps(result)
         return JobResult(
             result=result,
             policy_description=self.policies.describe(),
             interventions=tuple(self._interventions),
-            bsp_steps=self._protocol_steps(result, "bsp"),
-            async_steps=result.completed_steps
-            - self._protocol_steps(result, "bsp"),
+            bsp_steps=precise_steps,
+            async_steps=result.completed_steps - precise_steps,
         )
 
     # ------------------------------------------------------------------
@@ -116,25 +117,47 @@ class SyncSwitchController:
 
     def _run_switching(self, session, segments) -> None:
         first, second = segments[0], segments[1]
-        bsp_budget = self.policies.timing.switch_step(self.job.total_steps)
+        targets = self._segment_targets(segments)
         online = self.policies.straggler
         if online is not None and online.reacts_online():
             finished_in_async = self._run_bsp_phase_online(
-                session, first, second, bsp_budget, online
+                session, first, second, targets[0], online
             )
             if finished_in_async:
                 return
         else:
             self.trainer.run_segment(
-                session, first, bsp_budget, charge_switch=False
+                session, first, targets[0], charge_switch=False
             )
-        # The planned switch: checkpoint, actuate, restore, run async.
-        self._switch_protocol(session, second)
-        remaining = self.job.total_steps - session.step
-        if remaining > 0:
-            self.trainer.run_segment(
-                session, second, remaining, charge_switch=False
-            )
+        # Each planned switch: checkpoint, actuate, restore, run next.
+        for index in range(1, len(segments)):
+            segment = segments[index]
+            self._switch_protocol(session, segment)
+            remaining = targets[index] - session.step
+            if remaining > 0:
+                self.trainer.run_segment(
+                    session, segment, remaining, charge_switch=False
+                )
+
+    def _segment_targets(self, segments) -> tuple[int, ...]:
+        """Cumulative step target of each plan segment.
+
+        Same rounding as the trainer's segment targeting (and as
+        :meth:`TimingPolicy.segment_boundaries`): the final segment is
+        pinned to the full budget, so segments never overlap and
+        together exhaust it.  For the two-phase plan the first target
+        is exactly ``TimingPolicy.switch_step``.
+        """
+        total = self.job.total_steps
+        targets = []
+        cumulative = 0.0
+        for index, segment in enumerate(segments):
+            cumulative += segment.fraction
+            if index == len(segments) - 1:
+                targets.append(total)
+            else:
+                targets.append(int(round(cumulative * total)))
+        return tuple(targets)
 
     def _run_bsp_phase_online(
         self, session, bsp_segment, async_segment, bsp_budget, policy
@@ -152,7 +175,7 @@ class SyncSwitchController:
             clear_windows=policy.clear_windows,
         )
         evicted: list[int] = []
-        bsp_done = self._protocol_steps_session(session, "bsp")
+        bsp_done = self._protocol_steps_session(session, bsp_segment.protocol)
 
         while bsp_done < bsp_budget:
             stop = self._detection_stop(session, profiler, detector)
@@ -309,11 +332,14 @@ class SyncSwitchController:
         )
 
     @staticmethod
-    def _protocol_steps(result: TrainingResult, protocol: str) -> int:
+    def _synchronous_steps(result: TrainingResult) -> int:
+        """Steps trained under barrier-style (registry-synchronous) protocols."""
+        synchronous = synchronous_protocols()
         return sum(
             record["end_step"] - record["start_step"]
             for record in result.segment_summary
-            if record["protocol"] == protocol and record["end_step"] is not None
+            if record["protocol"] in synchronous
+            and record["end_step"] is not None
         )
 
     @staticmethod

@@ -52,6 +52,7 @@ from repro.core.runtime.actuator import ParallelActuator, SequentialActuator
 from repro.core.runtime.checkpoint import CheckpointStore
 from repro.core.runtime.hooks import HookManager
 from repro.distsim.cluster import Cluster, ClusterSpec
+from repro.distsim.engines import is_synchronous
 from repro.distsim.job import JobConfig, Segment
 from repro.distsim.stragglers import StragglerSchedule
 from repro.distsim.telemetry import TrainingResult
@@ -62,9 +63,6 @@ __all__ = ["ElasticTrainingRun"]
 
 #: Stop reason used for time-based pauses.
 _PAUSE = "elastic-pause"
-
-#: Stages of the resumable plan execution.
-_FIRST, _SWITCH, _TAIL = 0, 1, 2
 
 
 class ElasticTrainingRun:
@@ -111,12 +109,22 @@ class ElasticTrainingRun:
         self.checkpoints = CheckpointStore()
         self.session = self.trainer.new_session()
         self.plan = policies.build_plan(job, cluster_spec.n_workers)
-        if len(self.plan.segments) == 2:
-            self._first_budget = policies.timing.switch_step(job.total_steps)
-        else:
-            self._first_budget = job.total_steps
-        self._stage = _FIRST
-        self._first_opened = False
+        # Cumulative step target per segment, trainer rounding (final
+        # segment pinned to the full budget).  For the two-phase plan
+        # the first target equals TimingPolicy.switch_step.
+        targets = []
+        cumulative = 0.0
+        segments = self.plan.segments
+        for index, segment in enumerate(segments):
+            cumulative += segment.fraction
+            if index == len(segments) - 1:
+                targets.append(job.total_steps)
+            else:
+                targets.append(int(round(cumulative * job.total_steps)))
+        self._targets = tuple(targets)
+        self._index = 0
+        self._opened = False
+        self._switch_paid = False
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -140,7 +148,21 @@ class ElasticTrainingRun:
     @property
     def has_elastic_tail(self) -> bool:
         """Whether the plan ends in a preemptible asynchronous phase."""
-        return self.plan.segments[-1].protocol != "bsp"
+        return not is_synchronous(self.plan.segments[-1].protocol)
+
+    @property
+    def _tail_index(self) -> int:
+        """Index of the first asynchronous (preemptible) segment.
+
+        Only meaningful when :attr:`has_elastic_tail` — monotone
+        schedules never interleave a barrier protocol back in after an
+        asynchronous one, so everything from this segment on is the
+        elastic span.
+        """
+        for index, segment in enumerate(self.plan.segments):
+            if not is_synchronous(segment.protocol):
+                return index
+        return len(self.plan.segments)
 
     # ------------------------------------------------------------------
     # resumable execution
@@ -159,11 +181,14 @@ class ElasticTrainingRun:
             return "finished"
         if not self.has_elastic_tail:
             return self.advance_to(math.inf)
-        if len(self.plan.segments) == 1:
+        tail = self._tail_index
+        if tail == 0:
             # The whole run is the elastic tail; nothing precise to cache.
             return "paused"
         try:
-            while self._stage < _TAIL:
+            while not self._finished and (
+                self._index < tail or not self._switch_paid
+            ):
                 self._advance_stage(None, math.inf)
         except DivergenceError:
             self._finished = True
@@ -204,52 +229,46 @@ class ElasticTrainingRun:
         return self.advance_to(math.inf)
 
     def _advance_stage(self, stop, until: float) -> bool:
-        """Execute (part of) the current stage.
+        """Execute (part of) the current segment's stage.
 
         Returns False when a stop condition paused mid-stage; True when
-        the stage completed (``self._stage`` advanced or the run
-        finished).  Mirrors ``SyncSwitchController._run_switching`` /
-        ``_run_static`` exactly: the first segment always opens (even
-        for a zero-step budget), the tail segment only when steps
-        remain.
+        the stage completed (a switch was paid, the segment cursor
+        advanced, or the run finished).  Mirrors
+        ``SyncSwitchController._run_switching`` / ``_run_static``
+        exactly: the first segment always opens (even for a zero-step
+        budget), every later segment pays its switch unconditionally
+        but only trains when steps remain.
         """
         session = self.session
-        if self._stage == _FIRST:
-            if not self._first_opened or session.step < self._first_budget:
-                self._first_opened = True
-                self.trainer.run_segment(
-                    session,
-                    self.plan.segments[0],
-                    self._first_budget - session.step,
-                    stop=stop,
-                    charge_switch=False,
-                )
-                if session.step < self._first_budget:
-                    return False
-            self._stage = _SWITCH
+        segments = self.plan.segments
+        index = self._index
+        segment = segments[index]
+        if index > 0 and not self._switch_paid:
+            if not math.isinf(until) and session.clock.now >= until:
+                # Pause *before* paying the switch: the overhead
+                # belongs to the instant the switch actually runs.
+                return False
+            self._switch_protocol(segment)
+            self._switch_paid = True
             return True
-        if self._stage == _SWITCH:
-            if len(self.plan.segments) == 2:
-                if not math.isinf(until) and session.clock.now >= until:
-                    # Pause *before* paying the switch: the overhead
-                    # belongs to the instant the switch actually runs.
-                    return False
-                self._switch_protocol(self.plan.segments[1])
-            self._stage = _TAIL
-            return True
-        remaining = self.job.total_steps - session.step
-        if remaining > 0:
+        target = self._targets[index]
+        if (index == 0 and not self._opened) or session.step < target:
+            self._opened = True
             self.trainer.run_segment(
                 session,
-                self.plan.segments[-1],
-                remaining,
+                segment,
+                target - session.step,
                 stop=stop,
                 charge_switch=False,
             )
-        if session.step >= self.job.total_steps:
+            if session.step < target:
+                return False
+        if index == len(segments) - 1:
             self._finished = True
             return True
-        return False
+        self._index += 1
+        self._switch_paid = False
+        return True
 
     def _switch_protocol(self, segment: Segment) -> None:
         """Checkpoint -> actuate -> restore (the controller's switch)."""

@@ -1,10 +1,15 @@
-"""Offline timing search (Algorithm 1) and its cost analysis."""
+"""Timing and schedule search (Algorithm 1) and its cost analysis."""
 
 from repro.core.search.binary_search import (
     OfflineTimingSearch,
+    ScheduleCandidate,
+    ScheduleSearch,
+    ScheduleSearchResult,
+    ScheduleTrialOutcome,
     SearchConfig,
     SearchResult,
     TrialOutcome,
+    boundary_fractions,
 )
 from repro.core.search.cost_model import (
     ProfileModel,
@@ -16,10 +21,15 @@ from repro.core.search.cost_model import (
 __all__ = [
     "OfflineTimingSearch",
     "ProfileModel",
+    "ScheduleCandidate",
+    "ScheduleSearch",
+    "ScheduleSearchResult",
+    "ScheduleTrialOutcome",
     "SearchConfig",
     "SearchCostReport",
     "SearchCostSimulator",
     "SearchResult",
     "SearchSetting",
     "TrialOutcome",
+    "boundary_fractions",
 ]

@@ -17,16 +17,41 @@ Two fidelity notes:
   between settings (lines 6-15); that is a transcription slip — the
   mean test on line 16 only makes sense per setting — so this
   implementation resets it for every candidate.
+
+:class:`ScheduleSearch` generalizes the same halving rule from one
+switch fraction to an N-segment protocol schedule: for each candidate
+protocol sequence it runs coordinate descent over the cumulative
+segment boundaries ``b_1 <= ... <= b_{N-1}``, searching one boundary
+at a time with Algorithm 1's interval halving (later boundaries pinned
+at 1.0, i.e. the still-unsearched segments get zero budget), then
+picks the sequence whose found schedule trains fastest.  With a single
+two-protocol sequence the trial stream is *exactly* the one
+:class:`OfflineTimingSearch` produces — the two-phase search is the
+N=2 special case, which the tests pin.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
+from repro.distsim.engines import known_protocols, precision_rank
 from repro.errors import SearchError
 
-__all__ = ["SearchConfig", "TrialOutcome", "SearchResult", "OfflineTimingSearch"]
+__all__ = [
+    "SearchConfig",
+    "TrialOutcome",
+    "SearchResult",
+    "OfflineTimingSearch",
+    "ScheduleCandidate",
+    "ScheduleSearch",
+    "ScheduleSearchResult",
+    "ScheduleTrialOutcome",
+    "boundary_fractions",
+    "pick_best_schedule",
+    "validate_sequences",
+]
 
 #: A trial runner trains one session at ``switch_fraction`` (0 = ASP,
 #: 1 = BSP) with the given repetition index and returns
@@ -163,5 +188,266 @@ class OfflineTimingSearch:
                 lower = candidate
 
         result = SearchResult(switch_fraction=upper, target_accuracy=target)
+        result.trials = trials
+        return result
+
+
+#: A schedule trial runner trains one session under the named
+#: ``protocols`` sequence with per-segment budget ``fractions`` (aligned
+#: with the sequence) and the given repetition index, returning
+#: ``(converged_accuracy, total_time)``; diverged runs report
+#: accuracy 0.0.
+ScheduleTrialRunner = Callable[
+    [tuple[str, ...], tuple[float, ...], int], tuple[float, float]
+]
+
+
+@dataclass(frozen=True)
+class ScheduleTrialOutcome:
+    """One training session executed during a schedule search.
+
+    Like :class:`TrialOutcome` but self-describing: ``protocols`` names
+    the sequence trained (two sequences of equal length can explore the
+    same ``fractions`` vector) and every session still counts toward
+    the search cost.
+    """
+
+    protocols: tuple[str, ...]
+    fractions: tuple[float, ...]
+    run_index: int
+    accuracy: float
+    time: float
+    valid: bool
+
+
+@dataclass(frozen=True)
+class ScheduleCandidate:
+    """The best schedule found for one candidate protocol sequence."""
+
+    protocols: tuple[str, ...]
+    fractions: tuple[float, ...]
+    expected_time: float
+
+
+@dataclass
+class ScheduleSearchResult:
+    """Outcome of one full N-segment schedule search."""
+
+    protocols: tuple[str, ...]
+    fractions: tuple[float, ...]
+    target_accuracy: float
+    expected_time: float
+    trials: list[ScheduleTrialOutcome] = field(default_factory=list)
+    candidates: tuple[ScheduleCandidate, ...] = ()
+
+    @property
+    def search_time(self) -> float:
+        """Total simulated time of every session trained while searching."""
+        return sum(trial.time for trial in self.trials)
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of sessions trained while searching."""
+        return len(self.trials)
+
+    @property
+    def valid_sessions(self) -> int:
+        """Sessions that produced a model at the target accuracy."""
+        return sum(1 for trial in self.trials if trial.valid)
+
+    @property
+    def switch_fraction(self) -> float:
+        """First segment's budget share (two-phase ``switch_fraction``)."""
+        return self.fractions[0]
+
+    def describe(self) -> str:
+        """Human-readable ``BSP -> SSP -> ASP`` style schedule label."""
+        return " -> ".join(name.upper() for name in self.protocols)
+
+
+def boundary_fractions(boundaries: Sequence[float]) -> tuple[float, ...]:
+    """Per-segment budget shares from cumulative switch boundaries.
+
+    ``boundaries`` holds the N-1 cumulative switch points of an
+    N-segment schedule (the implicit outer boundaries are 0 and 1), so
+    segment ``i`` receives ``b_{i+1} - b_i``.  Binary-search midpoints
+    are dyadic rationals, hence the differences are exact and two
+    implementations computing the same boundaries produce bit-equal
+    fraction vectors.
+    """
+    fractions = []
+    previous = 0.0
+    for boundary in boundaries:
+        fractions.append(boundary - previous)
+        previous = boundary
+    fractions.append(1.0 - previous)
+    return tuple(fractions)
+
+
+def validate_sequences(sequences) -> tuple[tuple[str, ...], ...]:
+    """Check and normalize candidate protocol sequences.
+
+    Every sequence must consist of known protocols in strictly
+    decreasing registry precision (the schedule the search installs
+    must be constructible as a paper-order ``ProtocolSchedule``), and
+    all sequences must open with the same protocol: the target-accuracy
+    runs train that opener at the full budget and are shared across
+    sequences.
+    """
+    normalized = tuple(tuple(sequence) for sequence in sequences)
+    if not normalized:
+        raise SearchError("need at least one candidate protocol sequence")
+    known = known_protocols()
+    for sequence in normalized:
+        if not sequence:
+            raise SearchError("candidate protocol sequence is empty")
+        for protocol in sequence:
+            if protocol not in known:
+                raise SearchError(
+                    f"unknown protocol {protocol!r}; known: {known}"
+                )
+        ranks = [precision_rank(protocol) for protocol in sequence]
+        if any(b <= a for a, b in zip(ranks, ranks[1:])):
+            raise SearchError(
+                f"schedule {' -> '.join(sequence)} must move from more to "
+                "less precise protocols"
+            )
+    openers = {sequence[0] for sequence in normalized}
+    if len(openers) > 1:
+        raise SearchError(
+            "all candidate sequences must start with the same protocol "
+            f"to share target runs; got {sorted(openers)}"
+        )
+    return normalized
+
+
+def pick_best_schedule(
+    sequences: Sequence[tuple[str, ...]],
+    finals: Sequence[tuple[float, ...]],
+    trials: Sequence[ScheduleTrialOutcome],
+    fallback_time: float | None,
+) -> tuple[int, tuple[float, ...]]:
+    """Price each sequence's found schedule and pick the fastest.
+
+    The price is the mean session time of the trials that trained the
+    final schedule; a schedule that was never trialed (the search kept
+    the full budget on the opener) falls back to the opener-run mean
+    time.  Returns ``(best_index, prices)`` with ties broken toward the
+    earlier sequence.
+    """
+    if fallback_time is None:
+        fallback_time = math.inf
+    best_index = 0
+    best_price = math.inf
+    prices = []
+    for index, sequence in enumerate(sequences):
+        times = [
+            trial.time
+            for trial in trials
+            if trial.protocols == sequence and trial.fractions == finals[index]
+        ]
+        price = sum(times) / len(times) if times else fallback_time
+        prices.append(price)
+        if price < best_price:
+            best_index, best_price = index, price
+    return best_index, tuple(prices)
+
+
+class ScheduleSearch:
+    """Coordinate-descent schedule search over candidate sequences.
+
+    One Algorithm 1 halving run per schedule boundary: searching
+    boundary ``i`` keeps the already-found boundaries ``b_1..b_{i-1}``
+    fixed (they bound the interval from below) and pins the later
+    boundaries at 1.0, so every trial is a valid monotone schedule and
+    the first boundary of a two-protocol sequence reproduces the
+    two-phase search verbatim.
+    """
+
+    def __init__(
+        self,
+        trial_runner: ScheduleTrialRunner,
+        config: SearchConfig,
+        sequences: Sequence[Sequence[str]] = (("bsp", "asp"),),
+    ):
+        self.trial_runner = trial_runner
+        self.config = config
+        self.sequences = validate_sequences(sequences)
+
+    def search(self) -> ScheduleSearchResult:
+        """Run the search and return the fastest found schedule."""
+        config = self.config
+        trials: list[ScheduleTrialOutcome] = []
+        target = config.target_accuracy
+        opener_time = None
+        if target is None:
+            # Algorithm 1 lines 2-5, shared across sequences: the
+            # opener protocol at the full budget sets the target.
+            opener = self.sequences[0]
+            base = boundary_fractions([1.0] * (len(opener) - 1))
+            accuracies, times = [], []
+            for run in range(config.bsp_runs):
+                accuracy, time = self.trial_runner(opener, base, run)
+                accuracies.append(accuracy)
+                times.append(time)
+                trials.append(
+                    ScheduleTrialOutcome(
+                        opener, base, run, accuracy, time, valid=True
+                    )
+                )
+            target = sum(accuracies) / len(accuracies)
+            opener_time = sum(times) / len(times)
+
+        finals = []
+        for sequence in self.sequences:
+            boundaries = [1.0] * (len(sequence) - 1)
+            for index in range(len(boundaries)):
+                lower = boundaries[index - 1] if index else 0.0
+                upper = 1.0
+                for _ in range(config.max_settings):
+                    candidate = (upper + lower) / 2.0
+                    probe = list(boundaries)
+                    probe[index] = candidate
+                    vector = boundary_fractions(probe)
+                    batch = []
+                    for run in range(config.runs_per_setting):
+                        accuracy, time = self.trial_runner(
+                            sequence, vector, run
+                        )
+                        batch.append((run, accuracy, time))
+                    mean_accuracy = sum(
+                        accuracy for _, accuracy, _ in batch
+                    ) / len(batch)
+                    for run, accuracy, time in batch:
+                        trials.append(
+                            ScheduleTrialOutcome(
+                                sequence,
+                                vector,
+                                run,
+                                accuracy,
+                                time,
+                                valid=abs(accuracy - target) <= config.beta,
+                            )
+                        )
+                    if abs(mean_accuracy - target) <= config.beta:
+                        upper = candidate
+                    else:
+                        lower = candidate
+                boundaries[index] = upper
+            finals.append(boundary_fractions(boundaries))
+
+        best, prices = pick_best_schedule(
+            self.sequences, finals, trials, opener_time
+        )
+        result = ScheduleSearchResult(
+            protocols=self.sequences[best],
+            fractions=finals[best],
+            target_accuracy=target,
+            expected_time=prices[best],
+            candidates=tuple(
+                ScheduleCandidate(sequence, finals[index], prices[index])
+                for index, sequence in enumerate(self.sequences)
+            ),
+        )
         result.trials = trials
         return result

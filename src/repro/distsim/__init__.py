@@ -16,9 +16,17 @@ from repro.distsim.cluster import Cluster, ClusterSpec
 from repro.distsim.engines import (
     ASPEngine,
     BSPEngine,
+    CASPEngine,
     DSSPEngine,
+    EngineSpec,
+    OSPEngine,
     SSPEngine,
+    engine_spec,
+    is_synchronous,
+    known_protocols,
     make_engine,
+    precision_rank,
+    synchronous_protocols,
 )
 from repro.distsim.events import EventQueue, SimClock
 from repro.distsim.parameter_server import ShardedParameterServer
@@ -40,12 +48,15 @@ from repro.distsim.trainer import (
 __all__ = [
     "ASPEngine",
     "BSPEngine",
+    "CASPEngine",
     "Cluster",
     "ClusterSpec",
     "DSSPEngine",
     "DistributedTrainer",
+    "EngineSpec",
     "EventQueue",
     "JobConfig",
+    "OSPEngine",
     "SSPEngine",
     "Segment",
     "ShardedParameterServer",
@@ -57,7 +68,12 @@ __all__ = [
     "TrainingResult",
     "TrainingTelemetry",
     "ambient_contention",
+    "engine_spec",
+    "is_synchronous",
+    "known_protocols",
     "make_engine",
+    "precision_rank",
+    "synchronous_protocols",
     "timing_for",
     "transient_scenario",
 ]

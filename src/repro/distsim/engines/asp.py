@@ -46,6 +46,14 @@ class ASPEngine:
     """Fully asynchronous event loop with real stale gradients."""
 
     name = "asp"
+    precision = 40
+    synchronous = False
+    config_schema = {
+        "batch_size": "per-worker mini-batch size (default: job batch size)",
+        "lr_multiplier": "learning-rate scale (default: 1.0)",
+        "momentum_schedule": "post-switch momentum ramp (MomentumSchedule)",
+        "compression": "gradient compressor name or instance (default: none)",
+    }
     _compressor: GradientCompressor | None = None
 
     def run(
@@ -92,7 +100,7 @@ class ASPEngine:
                 session.ps.release(state.params)
                 if self._compressor is not None:
                     grad = self._compressor.compress(
-                        grad, session.time_rng(worker)
+                        grad, self._compression_rng(session, worker)
                     )
                 lr = session.base_lr_now() * lr_multiplier
                 session.ps.push(grad, lr, momentum=session.momentum_now())
@@ -151,6 +159,18 @@ class ASPEngine:
         )
         duration = max(duration - self._comm_saving(session), 1e-4)
         queue.push(now + duration, worker)
+
+    def _compression_rng(
+        self, session: TrainingSession, worker: int
+    ) -> np.random.Generator:
+        """Stream compression randomness draws from.
+
+        The legacy ASP ``compression`` option interleaves with the
+        timing-jitter stream (pre-registry behaviour, kept bit-exact);
+        :class:`~repro.distsim.engines.casp.CASPEngine` overrides this
+        with the session's dedicated compression stream.
+        """
+        return session.time_rng(worker)
 
     def _resolve_compressor(self, spec) -> GradientCompressor | None:
         """Accept a compressor instance, a name, or None."""

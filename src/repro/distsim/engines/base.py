@@ -96,6 +96,10 @@ class TrainingSession:
             worker: ChunkedLognormalNoise(rng, timing.jitter_sigma)
             for worker, rng in self._time_rngs.items()
         }
+        # Dedicated compression streams are created lazily on first
+        # use: runs that never compress draw nothing from them, so the
+        # jitter/data streams (and golden hashes) are untouched.
+        self._compression_rngs: dict[int, np.random.Generator] = {}
         self._grad_buffer: np.ndarray | None = None
         self._next_eval = 0
         self._next_loss_log = 0
@@ -173,6 +177,20 @@ class TrainingSession:
     def time_noise(self, worker: int) -> ChunkedLognormalNoise:
         """The chunked jitter stream of ``worker`` (engine hot path)."""
         return self._time_noise[worker]
+
+    def compression_rng(self, worker: int) -> np.random.Generator:
+        """Dedicated per-worker stream for gradient-compression draws.
+
+        Unlike the legacy path through :meth:`time_rng`, draws from this
+        stream never interleave with the timing jitter: compressed runs
+        keep the exact jitter/data streams of uncompressed ones, and
+        uncompressed runs never advance it (lazy creation).
+        """
+        rng = self._compression_rngs.get(worker)
+        if rng is None:
+            rng = child_rng(self.job.seed, f"compress/{worker}")
+            self._compression_rngs[worker] = rng
+        return rng
 
     def grad_buffer(self) -> np.ndarray:
         """Session-owned gradient buffer for ``loss_and_grad(grad_out=...)``.

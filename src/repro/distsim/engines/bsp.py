@@ -33,6 +33,14 @@ class BSPEngine:
     """Synchronous rounds with barrier timing and one global update."""
 
     name = "bsp"
+    #: Registry metadata (see ``repro.distsim.engines``): precision is
+    #: the staleness-ordering rank — lower trains more precisely.
+    precision = 0
+    synchronous = True
+    config_schema = {
+        "batch_size": "per-worker mini-batch size (default: job batch size)",
+        "lr_multiplier": "learning-rate scale (default: n_active, linear rule)",
+    }
 
     def run(
         self,

@@ -24,6 +24,16 @@ class DSSPEngine:
     """SSP with a dynamically adapted staleness bound."""
 
     name = "dssp"
+    precision = 30
+    synchronous = False
+    config_schema = {
+        "batch_size": "per-worker mini-batch size (default: job batch size)",
+        "lr_multiplier": "learning-rate scale (default: 1.0)",
+        "lower_bound": "smallest adaptive staleness bound (default: 2)",
+        "upper_bound": "largest adaptive staleness bound (default: 8)",
+        "adapt_every": "pushes between bound adaptations (default: 64)",
+        "momentum_schedule": "post-switch momentum ramp (MomentumSchedule)",
+    }
 
     def __init__(self):
         self._ssp = SSPEngine()

@@ -1,0 +1,114 @@
+"""Overlap Synchronization Parallel engine (2-stage sync).
+
+OSP (PAPERS.md: arXiv 2306.16926) splits synchronization into two
+stages: workers run ``sync_period`` *local* mini-batch rounds,
+accumulating gradients against the parameter version they last pulled
+(stage 1), then meet at one global barrier where the accumulated
+gradient is aggregated and applied (stage 2).  Compared to BSP the
+barrier — and its fixed synchronization overhead — is paid once per
+``sync_period`` local rounds instead of every round, trading gradient
+freshness *within* a super-round for throughput while keeping the
+update itself fully synchronous (staleness 0 at every push, like BSP).
+
+Numerically a super-round is one aggregated update over the
+``n_active * sync_period`` mini-batches drawn at the shared parameter
+version: the mean of per-worker accumulated mean-gradients equals the
+gradient of the concatenated batch, so — exactly as in
+:class:`~repro.distsim.engines.bsp.BSPEngine` — the engine evaluates
+one big-batch gradient.  Timing-wise each worker's super-round duration
+is the sum of ``sync_period`` per-batch durations (each drawn from the
+worker's jitter stream, straggler state included) and the barrier waits
+for the slowest worker, paying one ``sync_overhead(n)``.
+
+One super-round advances the global step counter by
+``n_active * sync_period`` (every worker contributed ``sync_period``
+mini-batches of progress), so step budgets and learning-rate decay
+line up with the other engines' bookkeeping.
+"""
+
+from __future__ import annotations
+
+from repro.distsim.engines.base import StopCondition, TrainingSession
+
+__all__ = ["OSPEngine", "DEFAULT_SYNC_PERIOD"]
+
+#: Local accumulation rounds between global barriers.
+DEFAULT_SYNC_PERIOD = 4
+
+
+class OSPEngine:
+    """Local accumulation rounds with a periodic global barrier."""
+
+    name = "osp"
+    precision = 10
+    synchronous = True
+    config_schema = {
+        "batch_size": "per-worker mini-batch size (default: job batch size)",
+        "lr_multiplier": "learning-rate scale (default: n_active, linear rule)",
+        "sync_period": f"local rounds per global sync (default: "
+        f"{DEFAULT_SYNC_PERIOD})",
+    }
+
+    def run(
+        self,
+        session: TrainingSession,
+        steps: int,
+        options: dict | None = None,
+        stop: StopCondition | None = None,
+    ) -> str:
+        options = options or {}
+        batch_size = int(options.get("batch_size", session.job.batch_size))
+        sync_period = int(options.get("sync_period", DEFAULT_SYNC_PERIOD))
+        if sync_period < 1:
+            sync_period = 1
+        target = session.step + steps
+        while session.step < target:
+            workers = session.cluster.active_workers
+            n_active = len(workers)
+            lr_multiplier = float(options.get("lr_multiplier", n_active))
+            # Trim the final super-round so the budget is not overshot
+            # by a whole sync_period (engines may overshoot by at most
+            # one round's worth of progress, as in BSP).
+            remaining_rounds = -(-(target - session.step) // n_active)
+            local_rounds = min(sync_period, remaining_rounds)
+
+            # Timing half: each worker runs local_rounds back-to-back
+            # batches (one jitter draw per batch), then the single
+            # barrier waits for the slowest accumulated duration.
+            now = session.clock.now
+            durations = []
+            straggler_states = session.stragglers.states_at(workers, now)
+            for worker, (slow, latency) in zip(workers, straggler_states):
+                duration = 0.0
+                for _ in range(local_rounds):
+                    duration += session.timing.compute_time(
+                        batch_size, session.time_noise(worker), slow, latency
+                    )
+                durations.append(duration)
+                session.telemetry.record_worker_duration(now, worker, duration)
+            round_time = session.timing.bsp_round_time(durations, n_active)
+
+            # Numeric half: one aggregated update over the accumulated
+            # global batch (all mini-batches share the pulled version).
+            inputs, labels = session.global_batch(
+                workers, local_rounds * batch_size
+            )
+            loss, grad = session.model.loss_and_grad(
+                session.ps.peek(), inputs, labels, grad_out=session.grad_buffer()
+            )
+            lr = session.base_lr_now() * lr_multiplier
+            session.ps.push(grad, lr, momentum=session.job.momentum)
+            session.telemetry.record_staleness(0)
+
+            session.clock.advance(round_time)
+            session.step += n_active * local_rounds
+            session.telemetry.images_processed += (
+                n_active * local_rounds * batch_size
+            )
+            session.after_update(loss)
+
+            if stop is not None:
+                reason = stop(session)
+                if reason:
+                    return reason
+        return "completed"

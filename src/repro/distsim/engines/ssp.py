@@ -44,6 +44,15 @@ class SSPEngine:
     """Bounded-staleness asynchronous execution."""
 
     name = "ssp"
+    precision = 20
+    synchronous = False
+    config_schema = {
+        "batch_size": "per-worker mini-batch size (default: job batch size)",
+        "lr_multiplier": "learning-rate scale (default: 1.0)",
+        "staleness_bound": f"iteration spread bound (default: "
+        f"{DEFAULT_STALENESS_BOUND})",
+        "momentum_schedule": "post-switch momentum ramp (MomentumSchedule)",
+    }
 
     def run(
         self,

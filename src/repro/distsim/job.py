@@ -11,12 +11,11 @@ trainer executes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from repro.errors import ConfigurationError
 
 __all__ = ["JobConfig", "Segment", "TrainingPlan"]
-
-_KNOWN_PROTOCOLS = ("bsp", "asp", "ssp", "dssp")
 
 
 @dataclass(frozen=True)
@@ -70,9 +69,14 @@ class Segment:
     options: dict = field(default_factory=dict)
 
     def __post_init__(self):
-        if self.protocol not in _KNOWN_PROTOCOLS:
+        # Local import: the engine registry is the single source of
+        # protocol names, and the engines package imports this module.
+        from repro.distsim.engines import known_protocols
+
+        if self.protocol not in known_protocols():
             raise ConfigurationError(
-                f"unknown protocol {self.protocol!r}; known: {_KNOWN_PROTOCOLS}"
+                f"unknown protocol {self.protocol!r}; "
+                f"known: {known_protocols()}"
             )
         if not 0.0 <= self.fraction <= 1.0:
             raise ConfigurationError("fraction must be in [0, 1]")
@@ -125,6 +129,41 @@ class TrainingPlan:
                 Segment(second, 1.0 - switch_fraction, second_options or {}),
             )
         )
+
+    @classmethod
+    def schedule(
+        cls,
+        protocols: "Sequence[str]",
+        fractions: "Sequence[float]",
+        options: "Sequence[dict | None] | None" = None,
+    ) -> "TrainingPlan":
+        """An N-segment plan from aligned protocol/fraction sequences.
+
+        Zero-fraction segments are dropped — those are the degenerate
+        boundaries a schedule search pins at an interval endpoint, not
+        an error.
+        """
+        if len(protocols) != len(fractions):
+            raise ConfigurationError(
+                "protocols and fractions must have the same length, got "
+                f"{len(protocols)} and {len(fractions)}"
+            )
+        if options is not None and len(options) != len(protocols):
+            raise ConfigurationError(
+                "options must align with protocols when given"
+            )
+        segments = tuple(
+            Segment(
+                protocol,
+                fraction,
+                dict(options[index] or {}) if options is not None else {},
+            )
+            for index, (protocol, fraction) in enumerate(
+                zip(protocols, fractions)
+            )
+            if fraction > 0.0
+        )
+        return cls(segments)
 
     @property
     def n_switches(self) -> int:

@@ -114,7 +114,9 @@ class FleetRunRequest:
     """One fleet cell: a scenario served by one scheduler and policy.
 
     ``tune`` turns on the in-fleet amortized timing search for the
-    cell (see :class:`~repro.fleet.fleet_sim.FleetConfig`).
+    cell (see :class:`~repro.fleet.fleet_sim.FleetConfig`);
+    ``protocols``/``fractions`` select an N-segment schedule — searched
+    over when tuning, trained directly when the fractions are fixed.
     """
 
     scenario: str
@@ -126,6 +128,8 @@ class FleetRunRequest:
     tune: bool = False
     tune_runs: int = 1
     resim: str = "exact"
+    protocols: tuple[str, ...] | None = None
+    fractions: tuple[float, ...] | None = None
 
     def key(self, scale: float) -> str:
         """Cache key of this cell at ``scale`` (the dedup identity)."""
@@ -146,6 +150,12 @@ class FleetRunRequest:
                 "tune": self.tune,
                 "tune_runs": self.tune_runs,
                 "resim": self.resim,
+                "protocols": (
+                    None if self.protocols is None else list(self.protocols)
+                ),
+                "fractions": (
+                    None if self.fractions is None else list(self.fractions)
+                ),
             }
         )
 
@@ -162,6 +172,8 @@ class FleetRunRequest:
             tune=self.tune,
             tune_runs=self.tune_runs,
             resim=self.resim,
+            protocols=self.protocols,
+            fractions=self.fractions,
         )
 
 
@@ -188,6 +200,8 @@ def fleet_grid(
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
     resim: str = "exact",
+    protocols: tuple[str, ...] | None = None,
+    fractions: tuple[float, ...] | None = None,
 ) -> dict[tuple[str, str], FleetSummary]:
     """Simulate a scheduler x sync-policy grid for one scenario.
 
@@ -195,7 +209,9 @@ def fleet_grid(
     :class:`~repro.experiments.executor.ParallelExecutor` batch
     (``jobs`` worker processes, atomic shared disk cache), exactly like
     the figure/table training grids.  ``resim`` picks the preempted-tail
-    timeline model (see :class:`~repro.fleet.fleet_sim.FleetConfig`).
+    timeline model (see :class:`~repro.fleet.fleet_sim.FleetConfig`);
+    ``protocols``/``fractions`` pin a fixed N-segment schedule for the
+    grid's Sync-Switch cells.
     """
     schedulers = schedulers or tuple(sorted(SCHEDULERS))
     policies = policies or SYNC_POLICIES
@@ -208,6 +224,8 @@ def fleet_grid(
             n_jobs=n_jobs,
             trace=trace,
             resim=resim,
+            protocols=protocols,
+            fractions=fractions,
         )
         for scheduler in schedulers
         for policy in policies
@@ -389,6 +407,7 @@ def tuning_grid(
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
     resim: str = "exact",
+    protocols: tuple[str, ...] | None = None,
 ) -> dict[tuple[str, str, int], FleetSummary]:
     """The fleet-search comparison grid, one deduplicated batch.
 
@@ -397,8 +416,10 @@ def tuning_grid(
     conservative baseline the paper amortizes against; trace jobs are
     rewritten to the BSP policy) — and ``"tuned"`` — a Sync-Switch
     stream with the in-fleet Algorithm 1 search enabled, paying the
-    search cost inside the same stream.  Like :func:`fleet_grid` the
-    batch fans through the
+    search cost inside the same stream.  ``protocols`` upgrades the
+    tuned mode's search to the N-segment schedule search over that
+    protocol sequence (the baseline stays all-BSP).  Like
+    :func:`fleet_grid` the batch fans through the
     :class:`~repro.experiments.executor.ParallelExecutor`, so results
     are bit-identical at any ``jobs`` worker count.
     """
@@ -408,7 +429,12 @@ def tuning_grid(
             "tune": False,
             "trace": _bsp_trace(trace),
         },
-        "tuned": {"sync_policy": "sync-switch", "tune": True, "trace": trace},
+        "tuned": {
+            "sync_policy": "sync-switch",
+            "tune": True,
+            "trace": trace,
+            "protocols": protocols,
+        },
     }
     cells = {
         (scenario, mode, seed): FleetRunRequest(
@@ -453,9 +479,16 @@ def _aggregate_tuning_classes(summaries: list[FleetSummary]) -> list[dict]:
             for row in rows
             if row["search_cost_x"] is not None
         ]
+        schedules = {row.get("schedule", "BSP -> ASP") for row in rows}
         aggregated.append(
             {
                 "job_class": label,
+                # The protocol sequence is fixed per run configuration,
+                # so seeds only differ in the searched fractions.
+                "schedule": " | ".join(sorted(schedules)),
+                "tuned_fractions_per_seed": [
+                    row.get("fractions") for row in rows
+                ],
                 "tuned_percent_per_seed": [row["percent"] for row in rows],
                 "search_cost_x_mean": (
                     sum(costs) / len(costs) if costs else None
@@ -575,10 +608,22 @@ def fleet_tuning_report(payload: dict) -> Report:
                 for value in cls["breakeven_recurrence_per_seed"]
                 if value is not None
             ]
+            schedules = sorted(
+                {
+                    cls["schedule"]
+                    for cls in classes
+                    if cls.get("schedule") is not None
+                }
+            )
             rows.append(
                 {
                     "scenario": scenario,
                     "mode": mode,
+                    "schedule": (
+                        " | ".join(schedules)
+                        if schedules
+                        else ("BSP" if mode == "bsp" else None)
+                    ),
                     "mean_jct_s": block["mean_jct"],
                     "ci95_s": block["ci95"],
                     "speedup_x": (
@@ -603,6 +648,7 @@ def fleet_tuning_report(payload: dict) -> Report:
         columns=[
             "scenario",
             "mode",
+            "schedule",
             "mean_jct_s",
             "ci95_s",
             "speedup_x",

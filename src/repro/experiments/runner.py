@@ -34,6 +34,8 @@ Spec reference::
     {"kind": "switch", "percent": 6.25,
      "momentum_mode": "zero"}                            # Fig 8b ablation
     {"kind": "static", "protocol": "bsp"}                # baselines
+    {"kind": "schedule", "protocols": ["bsp", "ssp", "asp"],
+     "fractions": [0.1, 0.3, 0.6]}                       # N-segment plan
     {"kind": "reversed", "percent": 50.0}                # ASP->BSP ablation
     {"kind": "custom_static", "protocol": "asp",
      "options": {"batch_size": 1024}}                    # Fig 8a ablation
@@ -57,6 +59,7 @@ from repro.core.policies import (
     GreedyPolicy,
     PolicyManager,
     ProtocolPolicy,
+    ProtocolSchedule,
     TimingPolicy,
 )
 from repro.core.runtime import SyncSwitchController
@@ -352,6 +355,16 @@ class ExperimentRunner:
             return PolicyManager(
                 timing=timing,
                 protocol=protocol_policy,
+                config=config,
+                straggler=online,
+            )
+        if kind == "schedule":
+            fractions = tuple(float(value) for value in spec["fractions"])
+            return PolicyManager(
+                timing=TimingPolicy.for_schedule(fractions, source="harness"),
+                protocol=ProtocolSchedule(
+                    tuple(str(name) for name in spec["protocols"])
+                ),
                 config=config,
                 straggler=online,
             )

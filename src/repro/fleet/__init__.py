@@ -25,6 +25,7 @@ from repro.fleet.policy_store import (
     ClassPolicy,
     JobClass,
     PolicyStore,
+    policy_from_schedule_search,
     policy_from_search,
 )
 from repro.fleet.scheduler import (
@@ -37,7 +38,7 @@ from repro.fleet.scheduler import (
     SmallestJobFirstScheduler,
     make_scheduler,
 )
-from repro.fleet.tuning import TimingSearchSession
+from repro.fleet.tuning import ScheduleSearchSession, TimingSearchSession
 from repro.fleet.workload import (
     FLEET_SCENARIOS,
     JOB_KINDS,
@@ -69,6 +70,7 @@ __all__ = [
     "JobRecord",
     "JobRequest",
     "PolicyStore",
+    "ScheduleSearchSession",
     "SchedulerContext",
     "SchedulerPolicy",
     "SloAwareScheduler",
@@ -79,6 +81,7 @@ __all__ = [
     "load_trace",
     "make_scheduler",
     "poisson_stream",
+    "policy_from_schedule_search",
     "policy_from_search",
     "resolve_percent",
     "save_trace",

@@ -72,22 +72,33 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field, replace
 
-from repro.core.policies import ConfigurationPolicy, PolicyManager, TimingPolicy
+from repro.core.policies import (
+    ConfigurationPolicy,
+    PolicyManager,
+    ProtocolSchedule,
+    TimingPolicy,
+)
 from repro.core.runtime import ElasticTrainingRun, SyncSwitchController
-from repro.core.search.binary_search import SearchConfig
+from repro.core.search.binary_search import SearchConfig, validate_sequences
 from repro.distsim.cluster import ClusterSpec
+from repro.distsim.engines import synchronous_protocols
 from repro.distsim.stragglers import StragglerEvent, StragglerSchedule, ambient_contention
 from repro.distsim.telemetry import TrainingResult
-from repro.errors import ConfigurationError, FleetError
+from repro.errors import ConfigurationError, FleetError, SearchError
 from repro.experiments.setups import SETUPS, scaled_job
 from repro.fleet.metrics import FleetSummary, JobRecord, summarize_fleet
-from repro.fleet.policy_store import JobClass, PolicyStore, policy_from_search
+from repro.fleet.policy_store import (
+    JobClass,
+    PolicyStore,
+    policy_from_schedule_search,
+    policy_from_search,
+)
 from repro.fleet.scheduler import (
     SchedulerContext,
     SchedulerPolicy,
     make_scheduler,
 )
-from repro.fleet.tuning import TimingSearchSession
+from repro.fleet.tuning import ScheduleSearchSession, TimingSearchSession
 from repro.fleet.workload import (
     FLEET_SCENARIOS,
     JobRequest,
@@ -127,6 +138,14 @@ class FleetConfig:
     offline search's 0.01: fleet trials are single sessions trained
     under shared-cluster contention, whose accuracy noise at the small
     fleet scale exceeds the paper's multi-run band.
+
+    ``protocols`` generalizes both knobs from the two-phase switch to
+    an N-segment schedule: with ``tune=True`` the search explores that
+    protocol sequence's per-boundary switch fractions (coordinate
+    descent, Algorithm 1 per boundary) instead of the single BSP->ASP
+    switch point; with ``fractions`` also given, every un-tuned
+    Sync-Switch stream job trains the fixed schedule directly.  Both
+    default to None — the plain two-phase fleet.
     """
 
     scenario: str = "rush"
@@ -144,6 +163,8 @@ class FleetConfig:
     tune_runs: int = 1
     tune_beta: float = 0.02
     resim: str = "exact"
+    protocols: tuple[str, ...] | None = None
+    fractions: tuple[float, ...] | None = None
 
     def __post_init__(self):
         if self.resim not in RESIM_MODES:
@@ -167,6 +188,38 @@ class FleetConfig:
             raise ConfigurationError("tune_runs must be >= 1")
         if self.tune_beta < 0:
             raise ConfigurationError("tune_beta must be non-negative")
+        if self.fractions is not None and self.protocols is None:
+            raise ConfigurationError("fractions requires protocols")
+        if self.protocols is not None:
+            object.__setattr__(
+                self, "protocols", tuple(str(name) for name in self.protocols)
+            )
+            try:
+                validate_sequences((self.protocols,))
+            except SearchError as exc:
+                raise ConfigurationError(str(exc)) from exc
+            if self.fractions is None:
+                if not self.tune:
+                    raise ConfigurationError(
+                        "protocols without fractions needs tune=True "
+                        "(there is no schedule to train otherwise)"
+                    )
+            else:
+                fractions = tuple(float(value) for value in self.fractions)
+                object.__setattr__(self, "fractions", fractions)
+                if len(fractions) != len(self.protocols):
+                    raise ConfigurationError(
+                        "fractions must have one entry per protocol"
+                    )
+                if any(not 0.0 <= value <= 1.0 for value in fractions):
+                    raise ConfigurationError(
+                        "schedule fractions must be in [0, 1]"
+                    )
+                if abs(sum(fractions) - 1.0) > 1e-9:
+                    raise ConfigurationError(
+                        f"schedule fractions must sum to 1, "
+                        f"got {sum(fractions)}"
+                    )
 
 
 class WorkerPool:
@@ -252,10 +305,12 @@ class _RunningJob:
             {"time": start, "workers": len(workers), "cause": "admit"}
         ]
         # Phase spans from the training telemetry: everything after the
-        # last BSP segment is the elastic ASP tail.
+        # last barrier-synchronized segment is the elastic async tail
+        # (for a bsp -> ssp -> asp schedule that is the ssp+asp span).
         tail = 0.0
+        synchronous = synchronous_protocols()
         for record in reversed(result.segment_summary):
-            if record["protocol"] == "bsp":
+            if record["protocol"] in synchronous:
                 break
             tail += record["duration"]
         self.asp_tail = min(tail, result.total_time)
@@ -373,9 +428,11 @@ class FleetSimulator:
         self._records: list[JobRecord] = []
         self._busy_seconds = 0.0
         self._last_time = 0.0
-        # Tuning state: in-flight Algorithm 1 sessions and the class
-        # of every injected search-trial job.
-        self._sessions: dict[JobClass, TimingSearchSession] = {}
+        # Tuning state: in-flight search sessions (two-phase or
+        # schedule) and the class of every injected search-trial job.
+        self._sessions: dict[
+            JobClass, TimingSearchSession | ScheduleSearchSession
+        ] = {}
         self._trial_class: dict[int, JobClass] = {}
         self._next_trial_id = max(ids, default=-1) + 1
         # SLO state: pending degrade decisions from scheduler triage.
@@ -507,12 +564,16 @@ class FleetSimulator:
         )
 
     def _admit(self, request: JobRequest, now: float) -> None:
-        percent, tuned, degraded = self._resolve_percent(request)
+        percent, tuned, degraded, schedule = self._resolve_percent(request)
         workers = self.pool.allocate(request.n_workers)
         if self.config.resim == "exact":
-            sim, result = self._begin_exact(request, workers, now, percent)
+            sim, result = self._begin_exact(
+                request, workers, now, percent, schedule
+            )
         else:
-            sim, result = None, self._train(request, workers, now, percent)
+            sim, result = None, self._train(
+                request, workers, now, percent, schedule
+            )
         job = _RunningJob(
             request, workers, now, result,
             percent=percent, tuned=tuned, degraded=degraded, sim=sim,
@@ -528,18 +589,27 @@ class FleetSimulator:
         if self.config.tune:
             self._maybe_begin_search(request, now)
 
-    def _resolve_percent(self, request: JobRequest) -> tuple[float, bool, bool]:
-        """Effective BSP percentage for an admission: ``(percent, tuned,
-        degraded)``.
+    def _resolve_percent(
+        self, request: JobRequest
+    ) -> tuple[float, bool, bool, tuple | None]:
+        """Effective policy for an admission: ``(percent, tuned,
+        degraded, schedule)``.
 
         Sync-Switch stream jobs of a tuned class reuse the policy
         store's searched switch point (the amortized recurrence of
-        Section VI-C); a pending SLO degrade decision overrides
-        everything with its conservative all-BSP percentage.
+        Section VI-C) — the full ``(protocols, fractions)`` schedule
+        when the class was schedule-tuned; un-tuned jobs fall back to
+        the config's fixed schedule when one is set.  A job carrying
+        its own schedule (injected schedule-search trials, explicit
+        trace jobs) trains it as-is.  A pending SLO degrade decision
+        overrides everything with its conservative all-BSP percentage.
         """
         percent = request.percent
         tuned = False
-        if (
+        schedule = None
+        if request.protocols is not None:
+            schedule = (request.protocols, request.fractions)
+        elif (
             request.kind == "train"
             and request.sync_policy == "sync-switch"
             and request.percent_override is None
@@ -547,10 +617,16 @@ class FleetSimulator:
             policy = self.store.lookup(JobClass.of(request))
             if policy is not None:
                 percent, tuned = policy.percent, True
+                if policy.fractions is not None:
+                    schedule = (policy.protocols, policy.fractions)
+            elif self.config.fractions is not None:
+                schedule = (self.config.protocols, self.config.fractions)
+                percent = self.config.fractions[0] * 100.0
         degraded = request.job_id in self._degraded
         if degraded:
             percent, tuned = self._degraded.pop(request.job_id), False
-        return percent, tuned, degraded
+            schedule = None
+        return percent, tuned, degraded, schedule
 
     def _reject(self, request: JobRequest, now: float) -> None:
         """Record an SLO rejection (the job never trains)."""
@@ -761,11 +837,15 @@ class FleetSimulator:
         """Launch Algorithm 1 for a class on its first admission.
 
         Only Sync-Switch stream jobs are tunable (static BSP/ASP jobs
-        have no switch point) and each class searches exactly once.
+        have no switch point, and a job pinning its own schedule has
+        nothing left to search) and each class searches exactly once.
+        With ``FleetConfig.protocols`` set the search is the N-segment
+        schedule search over that sequence's boundaries; otherwise the
+        paper's two-phase Algorithm 1.
         """
         if request.kind != "train" or request.sync_policy != "sync-switch":
             return
-        if request.percent_override is not None:
+        if request.percent_override is not None or request.protocols is not None:
             return
         job_class = JobClass.of(request)
         if (
@@ -774,34 +854,58 @@ class FleetSimulator:
         ):
             return
         setup = SETUPS[request.setup_index]
-        session = TimingSearchSession(
-            SearchConfig(
-                beta=self.config.tune_beta,
-                max_settings=setup.search_max_settings,
-                runs_per_setting=self.config.tune_runs,
-                bsp_runs=self.config.tune_runs,
-            )
+        search_config = SearchConfig(
+            beta=self.config.tune_beta,
+            max_settings=setup.search_max_settings,
+            runs_per_setting=self.config.tune_runs,
+            bsp_runs=self.config.tune_runs,
         )
+        if self.config.protocols is not None:
+            session = ScheduleSearchSession(
+                search_config, sequences=(self.config.protocols,)
+            )
+        else:
+            session = TimingSearchSession(search_config)
         self.store.begin_search(job_class)
         self._sessions[job_class] = session
         self._inject_trials(job_class, session, now)
 
     def _inject_trials(
-        self, job_class: JobClass, session: TimingSearchSession, now: float
+        self, job_class: JobClass, session, now: float
     ) -> None:
-        """Enqueue the session's next batch of trials as fleet jobs."""
-        for fraction in session.next_batch():
+        """Enqueue the session's next batch of trials as fleet jobs.
+
+        Two-phase sessions hand out switch fractions; schedule sessions
+        hand out per-segment fraction vectors, which ride on the trial
+        request's ``protocols``/``fractions`` fields (the override
+        still pins the segment-0 share so service estimates and reports
+        see the familiar BSP percentage).
+        """
+        for item in session.next_batch():
             job_id = self._next_trial_id
             self._next_trial_id += 1
-            trial = JobRequest(
-                job_id=job_id,
-                arrival=now,
-                setup_index=job_class.setup_index,
-                n_workers=job_class.n_workers,
-                sync_policy="sync-switch",
-                kind="search-trial",
-                percent_override=fraction * 100.0,
-            )
+            if isinstance(item, tuple):
+                trial = JobRequest(
+                    job_id=job_id,
+                    arrival=now,
+                    setup_index=job_class.setup_index,
+                    n_workers=job_class.n_workers,
+                    sync_policy="sync-switch",
+                    kind="search-trial",
+                    percent_override=item[0] * 100.0,
+                    protocols=session.protocols,
+                    fractions=item,
+                )
+            else:
+                trial = JobRequest(
+                    job_id=job_id,
+                    arrival=now,
+                    setup_index=job_class.setup_index,
+                    n_workers=job_class.n_workers,
+                    sync_policy="sync-switch",
+                    kind="search-trial",
+                    percent_override=item * 100.0,
+                )
             self._trial_class[job_id] = job_class
             self._push(now, _ARRIVAL, trial)
 
@@ -825,9 +929,15 @@ class FleetSimulator:
             return
         if session.done:
             del self._sessions[job_class]
-            self.store.install(
-                policy_from_search(job_class, session.result(), tuned_at=now)
-            )
+            if isinstance(session, ScheduleSearchSession):
+                policy = policy_from_schedule_search(
+                    job_class, session.result(), tuned_at=now
+                )
+            else:
+                policy = policy_from_search(
+                    job_class, session.result(), tuned_at=now
+                )
+            self.store.install(policy)
         else:
             self._inject_trials(job_class, session, now)
 
@@ -840,15 +950,18 @@ class FleetSimulator:
         workers: tuple[int, ...],
         now: float,
         percent: float | None = None,
+        schedule: tuple | None = None,
     ) -> TrainingResult:
         """One full single-job simulation on the assigned workers.
 
         ``percent`` is the effective BSP percentage the admission
         resolved (tuned / degraded); defaults to the request's own.
+        ``schedule`` replaces the two-phase switch with a full
+        ``(protocols, fractions)`` plan when set.
         """
         if percent is None:
             percent = request.percent
-        job, policies = self._training_inputs(request, percent)
+        job, policies = self._training_inputs(request, percent, schedule)
         controller = SyncSwitchController(
             job=job,
             cluster_spec=ClusterSpec(n_workers=len(workers)),
@@ -865,6 +978,7 @@ class FleetSimulator:
         workers: tuple[int, ...],
         now: float,
         percent: float,
+        schedule: tuple | None = None,
     ) -> tuple[ElasticTrainingRun, TrainingResult]:
         """Start a resumable run and project its unpreempted completion.
 
@@ -874,7 +988,7 @@ class FleetSimulator:
         Jobs without an elastic tail (all-BSP, or divergence inside the
         BSP phase) complete inside the live run directly.
         """
-        job, policies = self._training_inputs(request, percent)
+        job, policies = self._training_inputs(request, percent, schedule)
         sim = ElasticTrainingRun(
             job=job,
             cluster_spec=ClusterSpec(n_workers=len(workers)),
@@ -890,18 +1004,35 @@ class FleetSimulator:
         return sim, projection.result()
 
     def _training_inputs(
-        self, request: JobRequest, percent: float
+        self,
+        request: JobRequest,
+        percent: float,
+        schedule: tuple | None = None,
     ) -> tuple[object, PolicyManager]:
-        """Scaled job config + offline policy set for one admission."""
+        """Scaled job config + offline policy set for one admission.
+
+        ``schedule`` is an optional ``(protocols, fractions)`` pair: an
+        N-segment plan built with the registry-validated
+        :class:`ProtocolSchedule`; without one the admission trains the
+        paper's two-phase BSP->ASP switch at ``percent``.
+        """
         setup = SETUPS[request.setup_index]
         seed = child_seed(
             self.config.seed, f"fleet/job/{request.job_id}"
         ) % (2**31)
         job = scaled_job(setup, self.config.scale, seed)
-        policies = PolicyManager(
-            timing=TimingPolicy(percent / 100.0, source="fleet"),
-            config=ConfigurationPolicy(),
-        )
+        if schedule is not None:
+            protocols, fractions = schedule
+            policies = PolicyManager(
+                timing=TimingPolicy.for_schedule(fractions, source="fleet"),
+                protocol=ProtocolSchedule(tuple(protocols)),
+                config=ConfigurationPolicy(),
+            )
+        else:
+            policies = PolicyManager(
+                timing=TimingPolicy(percent / 100.0, source="fleet"),
+                config=ConfigurationPolicy(),
+            )
         return job, policies
 
     def _fleet_contention(self) -> StragglerSchedule | None:

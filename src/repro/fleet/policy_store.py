@@ -33,7 +33,7 @@ import math
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.search.binary_search import SearchResult
+from repro.core.search.binary_search import ScheduleSearchResult, SearchResult
 from repro.errors import ConfigurationError, FleetError
 from repro.fleet.workload import JobRequest, estimate_service_time
 
@@ -42,12 +42,20 @@ __all__ = [
     "JobClass",
     "ClassPolicy",
     "PolicyStore",
+    "policy_from_schedule_search",
     "policy_from_search",
 ]
 
 #: On-disk payload version for persisted stores; bump on any breaking
 #: change to the schema so stale files fail loudly at load time.
-STORE_FORMAT_VERSION = 1
+#: Version 2 added the N-segment schedule fields (``protocols`` /
+#: ``fractions``); version-1 payloads are still readable — their
+#: percent-only policies load as two-phase BSP->ASP schedules.
+STORE_FORMAT_VERSION = 2
+
+#: Oldest persisted payload version :meth:`PolicyStore.from_payload`
+#: can still interpret.
+_OLDEST_READABLE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -91,6 +99,18 @@ class ClassPolicy:
     search_cost: float
     n_trials: int
     tuned_at: float
+    #: The searched protocol sequence.  Two-phase timing searches (and
+    #: version-1 payloads) leave ``fractions`` at None: the policy is
+    #: the paper's percent-only switch point and recurrences train
+    #: exactly as before the schedule generalization.  Schedule
+    #: searches fill both fields and recurrences replay the full
+    #: N-segment plan.
+    protocols: tuple[str, ...] = ("bsp", "asp")
+    fractions: tuple[float, ...] | None = None
+
+    def schedule_label(self) -> str:
+        """Display form of the protocol sequence, e.g. ``BSP -> ASP``."""
+        return " -> ".join(name.upper() for name in self.protocols)
 
     @property
     def saving_per_recurrence(self) -> float:
@@ -148,6 +168,46 @@ def policy_from_search(
         search_cost=result.search_time,
         n_trials=result.n_sessions,
         tuned_at=tuned_at,
+    )
+
+
+def policy_from_schedule_search(
+    job_class: JobClass, result: ScheduleSearchResult, tuned_at: float
+) -> ClassPolicy:
+    """Fold a finished N-segment schedule search into a :class:`ClassPolicy`.
+
+    The baseline is the mean of the sessions that kept the full budget
+    on the opener protocol (the schedule-search analogue of the
+    static-BSP target runs); the tuned time is the mean of the sessions
+    trained at the winning schedule, falling back to the baseline when
+    the winner is a degenerate all-opener schedule that only the target
+    runs visited.
+    """
+    bsp_times = [
+        trial.time for trial in result.trials if trial.fractions[0] == 1.0
+    ]
+    if not bsp_times:
+        raise FleetError(
+            f"search for {job_class.label()} trained no full-budget opener "
+            "session; cannot price the baseline"
+        )
+    tuned_times = [
+        trial.time
+        for trial in result.trials
+        if trial.protocols == result.protocols
+        and trial.fractions == result.fractions
+    ] or bsp_times
+    return ClassPolicy(
+        job_class=job_class,
+        percent=result.fractions[0] * 100.0,
+        target_accuracy=result.target_accuracy,
+        bsp_time=sum(bsp_times) / len(bsp_times),
+        policy_time=sum(tuned_times) / len(tuned_times),
+        search_cost=result.search_time,
+        n_trials=result.n_sessions,
+        tuned_at=tuned_at,
+        protocols=result.protocols,
+        fractions=result.fractions,
     )
 
 
@@ -262,6 +322,7 @@ class PolicyStore:
             request.kind == "train"
             and request.sync_policy == "sync-switch"
             and request.percent_override is None
+            and request.protocols is None
         ):
             job_class = JobClass.of(request)
             policy = self._policies.get(job_class)
@@ -299,6 +360,12 @@ class PolicyStore:
                     "job_class": job_class.label(),
                     "setup_index": job_class.setup_index,
                     "n_workers": job_class.n_workers,
+                    "schedule": policy.schedule_label(),
+                    "fractions": (
+                        None
+                        if policy.fractions is None
+                        else list(policy.fractions)
+                    ),
                     "percent": policy.percent,
                     "target_accuracy": policy.target_accuracy,
                     "bsp_time_s": policy.bsp_time,
@@ -348,6 +415,12 @@ class PolicyStore:
                 {
                     "setup_index": job_class.setup_index,
                     "n_workers": job_class.n_workers,
+                    "protocols": list(policy.protocols),
+                    "fractions": (
+                        None
+                        if policy.fractions is None
+                        else list(policy.fractions)
+                    ),
                     "percent": policy.percent,
                     "target_accuracy": policy.target_accuracy,
                     "bsp_time": policy.bsp_time,
@@ -382,10 +455,14 @@ class PolicyStore:
         if not isinstance(payload, dict):
             raise ConfigurationError("policy-store payload must be an object")
         version = payload.get("version")
-        if version != STORE_FORMAT_VERSION:
+        if (
+            not isinstance(version, int)
+            or not _OLDEST_READABLE_VERSION <= version <= STORE_FORMAT_VERSION
+        ):
             raise ConfigurationError(
                 f"policy-store payload version {version!r} is not supported "
-                f"(this build reads version {STORE_FORMAT_VERSION}); "
+                f"(this build reads versions {_OLDEST_READABLE_VERSION}"
+                f"-{STORE_FORMAT_VERSION}); "
                 "re-create the store with the current code"
             )
         stored_scale = payload.get("scale")
@@ -406,6 +483,10 @@ class PolicyStore:
                     setup_index=int(entry["setup_index"]),
                     n_workers=int(entry["n_workers"]),
                 )
+                # Version-1 entries predate schedules: they carry only
+                # the switch percent and load as two-phase policies.
+                protocols = entry.get("protocols")
+                fractions = entry.get("fractions")
                 policy = ClassPolicy(
                     job_class=job_class,
                     percent=float(entry["percent"]),
@@ -415,6 +496,16 @@ class PolicyStore:
                     search_cost=float(entry["search_cost"]),
                     n_trials=int(entry["n_trials"]),
                     tuned_at=float(entry["tuned_at"]),
+                    protocols=(
+                        ("bsp", "asp")
+                        if protocols is None
+                        else tuple(str(name) for name in protocols)
+                    ),
+                    fractions=(
+                        None
+                        if fractions is None
+                        else tuple(float(value) for value in fractions)
+                    ),
                 )
                 recurrences = int(entry["recurrences"])
                 savings = float(entry["realized_savings"])

@@ -31,13 +31,19 @@ Tables II/IV-VI.
 from __future__ import annotations
 
 from repro.core.search.binary_search import (
+    ScheduleCandidate,
+    ScheduleSearchResult,
+    ScheduleTrialOutcome,
     SearchConfig,
     SearchResult,
     TrialOutcome,
+    boundary_fractions,
+    pick_best_schedule,
+    validate_sequences,
 )
 from repro.errors import SearchError
 
-__all__ = ["TimingSearchSession"]
+__all__ = ["ScheduleSearchSession", "TimingSearchSession"]
 
 
 class TimingSearchSession:
@@ -157,3 +163,187 @@ class TimingSearchSession:
         self._settings_done += 1
         if self._settings_done >= self.config.max_settings:
             self._phase = "done"
+
+
+class ScheduleSearchSession:
+    """One in-flight N-segment schedule search, advanced by completions.
+
+    The inverted-control twin of
+    :class:`~repro.core.search.binary_search.ScheduleSearch`: the same
+    coordinate descent over per-boundary switch fractions, one
+    Algorithm 1 halving run per schedule boundary, but batches are
+    handed out through :meth:`next_batch` and folded back in through
+    :meth:`record` so the fleet can train trials as ordinary jobs.
+    Given the same per-trial outcomes it reports the same trials and
+    the same found schedule — covered by tests — and with a single
+    two-protocol sequence its batches are the fraction vectors
+    ``(f, 1-f)`` of the two-phase :class:`TimingSearchSession`.
+    """
+
+    def __init__(self, config: SearchConfig, sequences=(("bsp", "asp"),)):
+        self.config = config
+        self.sequences = validate_sequences(sequences)
+        self._target = config.target_accuracy
+        self._opener_time: float | None = None
+        self._trials: list[ScheduleTrialOutcome] = []
+        self._finals: list[tuple[float, ...]] = []
+        self._phase = "bsp" if self._target is None else "candidates"
+        self._seq_index = 0
+        self._boundaries: list[float] = []
+        self._boundary_index = 0
+        self._lower = 0.0
+        self._upper = 1.0
+        self._settings_done = 0
+        self._batch_protocols = self.sequences[0]
+        self._batch_vector: tuple[float, ...] | None = None
+        self._batch_candidate: float | None = None
+        self._outstanding = 0
+        self._batch_results: list[tuple[float, float]] = []
+        if self._phase == "candidates":
+            self._begin_sequence(0)
+
+    @property
+    def done(self) -> bool:
+        """Whether every candidate sequence has been searched."""
+        return self._phase == "done"
+
+    @property
+    def awaiting(self) -> int:
+        """Trials of the current batch not yet reported."""
+        return self._outstanding
+
+    @property
+    def target_accuracy(self) -> float | None:
+        """The search target ``A`` (None until the opener runs finish)."""
+        return self._target
+
+    @property
+    def protocols(self) -> tuple[str, ...]:
+        """Protocol sequence trained by the current batch's trials."""
+        return self._batch_protocols
+
+    def next_batch(self) -> tuple[tuple[float, ...], ...]:
+        """Per-segment fraction vectors of the sessions to train next.
+
+        The opener-protocol target batch (the full budget on segment 0)
+        comes first when no target accuracy was supplied, then one
+        batch per halving setting of the boundary under search; an
+        empty tuple once the search is done.
+        """
+        if self._phase == "done":
+            return ()
+        if self._outstanding:
+            raise SearchError("previous batch still has outstanding trials")
+        if self._phase == "bsp":
+            count = self.config.bsp_runs
+            opener = self.sequences[0]
+            self._batch_protocols = opener
+            self._batch_vector = boundary_fractions([1.0] * (len(opener) - 1))
+        else:
+            count = self.config.runs_per_setting
+            self._batch_candidate = (self._upper + self._lower) / 2.0
+            probe = list(self._boundaries)
+            probe[self._boundary_index] = self._batch_candidate
+            self._batch_protocols = self.sequences[self._seq_index]
+            self._batch_vector = boundary_fractions(probe)
+        self._outstanding = count
+        self._batch_results = []
+        return (self._batch_vector,) * count
+
+    def record(self, accuracy: float, time: float) -> None:
+        """Report one finished trial of the current batch."""
+        if self._outstanding <= 0:
+            raise SearchError("no outstanding trial to record")
+        self._outstanding -= 1
+        self._batch_results.append((float(accuracy), float(time)))
+        if self._outstanding == 0:
+            self._advance()
+
+    def result(self) -> ScheduleSearchResult:
+        """The finished search (fastest found schedule across sequences)."""
+        if not self.done:
+            raise SearchError("search has not finished")
+        best, prices = pick_best_schedule(
+            self.sequences, self._finals, self._trials, self._opener_time
+        )
+        result = ScheduleSearchResult(
+            protocols=self.sequences[best],
+            fractions=self._finals[best],
+            target_accuracy=self._target,
+            expected_time=prices[best],
+            candidates=tuple(
+                ScheduleCandidate(sequence, self._finals[index], prices[index])
+                for index, sequence in enumerate(self.sequences)
+            ),
+        )
+        result.trials = list(self._trials)
+        return result
+
+    # ------------------------------------------------------------------
+    def _begin_sequence(self, index: int) -> None:
+        """Open the boundary search of sequence ``index``.
+
+        Single-protocol sequences have no boundary to search: their
+        schedule is the full budget on the one segment, finalized
+        immediately.
+        """
+        while index < len(self.sequences):
+            sequence = self.sequences[index]
+            if len(sequence) > 1:
+                self._seq_index = index
+                self._boundaries = [1.0] * (len(sequence) - 1)
+                self._boundary_index = 0
+                self._lower = 0.0
+                self._upper = 1.0
+                self._settings_done = 0
+                return
+            self._finals.append(boundary_fractions([]))
+            index += 1
+        self._phase = "done"
+
+    def _advance(self) -> None:
+        """Fold the completed batch into the coordinate-descent state."""
+        vector = self._batch_vector
+        results = self._batch_results
+        mean_accuracy = sum(accuracy for accuracy, _ in results) / len(results)
+        if self._phase == "bsp":
+            self._target = mean_accuracy
+            self._opener_time = sum(time for _, time in results) / len(results)
+            for run, (accuracy, time) in enumerate(results):
+                self._trials.append(
+                    ScheduleTrialOutcome(
+                        self.sequences[0], vector, run, accuracy, time,
+                        valid=True,
+                    )
+                )
+            self._phase = "candidates"
+            self._begin_sequence(0)
+            return
+        sequence = self.sequences[self._seq_index]
+        for run, (accuracy, time) in enumerate(results):
+            self._trials.append(
+                ScheduleTrialOutcome(
+                    sequence,
+                    vector,
+                    run,
+                    accuracy,
+                    time,
+                    valid=abs(accuracy - self._target) <= self.config.beta,
+                )
+            )
+        if abs(mean_accuracy - self._target) <= self.config.beta:
+            self._upper = self._batch_candidate
+        else:
+            self._lower = self._batch_candidate
+        self._settings_done += 1
+        if self._settings_done < self.config.max_settings:
+            return
+        self._boundaries[self._boundary_index] = self._upper
+        self._boundary_index += 1
+        if self._boundary_index < len(self._boundaries):
+            self._lower = self._boundaries[self._boundary_index - 1]
+            self._upper = 1.0
+            self._settings_done = 0
+        else:
+            self._finals.append(boundary_fractions(self._boundaries))
+            self._begin_sequence(self._seq_index + 1)

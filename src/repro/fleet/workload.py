@@ -26,6 +26,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.distsim.engines import known_protocols
 from repro.distsim.timing import timing_for
 from repro.errors import ConfigurationError
 from repro.experiments.setups import SETUPS, scaled_job
@@ -90,6 +91,12 @@ class JobRequest:
     ``percent_override`` pins the BSP percentage regardless of the
     sync policy (used by injected search trials); ``kind`` separates
     stream jobs from the tuning layer's search trials.
+
+    ``protocols``/``fractions`` (always set together) pin a full
+    N-segment protocol schedule instead of the two-phase switch —
+    schedule-search trials and recurrences of schedule-tuned classes
+    carry them; plain two-phase jobs (and every pre-existing trace)
+    leave both None.
     """
 
     job_id: int
@@ -100,6 +107,8 @@ class JobRequest:
     deadline: float | None = None
     kind: str = "train"
     percent_override: float | None = None
+    protocols: tuple[str, ...] | None = None
+    fractions: tuple[float, ...] | None = None
 
     def __post_init__(self):
         if self.job_id < 0:
@@ -124,6 +133,34 @@ class JobRequest:
             0.0 <= self.percent_override <= 100.0
         ):
             raise ConfigurationError("percent_override must be in [0, 100]")
+        if (self.protocols is None) != (self.fractions is None):
+            raise ConfigurationError(
+                "protocols and fractions must be given together"
+            )
+        if self.protocols is not None:
+            protocols = tuple(str(name) for name in self.protocols)
+            fractions = tuple(float(value) for value in self.fractions)
+            object.__setattr__(self, "protocols", protocols)
+            object.__setattr__(self, "fractions", fractions)
+            if not protocols or len(protocols) != len(fractions):
+                raise ConfigurationError(
+                    "protocols and fractions must be non-empty and of "
+                    "matching length"
+                )
+            known = known_protocols()
+            for name in protocols:
+                if name not in known:
+                    raise ConfigurationError(
+                        f"unknown protocol {name!r}; known: {known}"
+                    )
+            if any(not 0.0 <= value <= 1.0 for value in fractions):
+                raise ConfigurationError(
+                    "schedule fractions must be in [0, 1]"
+                )
+            if abs(sum(fractions) - 1.0) > 1e-9:
+                raise ConfigurationError(
+                    f"schedule fractions must sum to 1, got {sum(fractions)}"
+                )
 
     @property
     def percent(self) -> float:
@@ -143,11 +180,21 @@ class JobRequest:
             "deadline": self.deadline,
             "kind": self.kind,
             "percent_override": self.percent_override,
+            "protocols": None if self.protocols is None else list(self.protocols),
+            "fractions": None if self.fractions is None else list(self.fractions),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobRequest":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Pre-schedule traces simply lack the ``protocols``/``fractions``
+        keys and load as two-phase jobs.
+        """
+        data = dict(data)
+        for key in ("protocols", "fractions"):
+            if data.get(key) is not None:
+                data[key] = tuple(data[key])
         return cls(**data)
 
 

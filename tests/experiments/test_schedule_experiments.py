@@ -1,0 +1,96 @@
+"""Experiments-layer coverage for N-segment schedule specs and requests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fleet import FleetRunRequest
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setups import SETUPS
+
+
+@pytest.fixture()
+def runner(tmp_path):
+    return ExperimentRunner(scale=0.008, seeds=1, cache_dir=tmp_path)
+
+
+class TestScheduleSpec:
+    def test_three_segment_spec_builds_matching_plan(self, runner):
+        result = runner.run(
+            SETUPS[1],
+            {
+                "kind": "schedule",
+                "protocols": ["bsp", "ssp", "asp"],
+                "fractions": [0.25, 0.25, 0.5],
+            },
+            0,
+        )
+        assert result.plan == "bsp:25% -> ssp:25% -> asp:50%"
+        assert result.completed_steps >= 400
+
+    def test_two_segment_schedule_matches_switch_spec(self, runner):
+        """kind=schedule bsp,asp is the same simulation as kind=switch."""
+        switch = runner.run(
+            SETUPS[1], {"kind": "switch", "percent": 25.0}, 0
+        )
+        schedule = runner.run(
+            SETUPS[1],
+            {
+                "kind": "schedule",
+                "protocols": ["bsp", "asp"],
+                "fractions": [0.25, 0.75],
+            },
+            0,
+        )
+        assert schedule.plan == switch.plan
+        assert schedule.total_time == switch.total_time
+        assert schedule.eval_accuracies == switch.eval_accuracies
+
+    def test_casp_tail_schedule_runs(self, runner):
+        result = runner.run(
+            SETUPS[1],
+            {
+                "kind": "schedule",
+                "protocols": ["bsp", "casp"],
+                "fractions": [0.25, 0.75],
+            },
+            0,
+        )
+        assert result.plan == "bsp:25% -> casp:75%"
+
+    def test_reversed_schedule_rejected(self, runner):
+        with pytest.raises(ConfigurationError):
+            runner.run(
+                SETUPS[1],
+                {
+                    "kind": "schedule",
+                    "protocols": ["asp", "bsp"],
+                    "fractions": [0.5, 0.5],
+                },
+                0,
+            )
+
+
+class TestFleetRunRequestSchedule:
+    def test_cache_key_distinguishes_schedules(self):
+        base = dict(
+            scenario="rush", scheduler="fifo", sync_policy="sync-switch",
+            seed=0,
+        )
+        plain = FleetRunRequest(**base)
+        scheduled = FleetRunRequest(
+            **base,
+            protocols=("bsp", "ssp", "asp"),
+            fractions=(0.25, 0.25, 0.5),
+        )
+        assert plain.key(0.008) != scheduled.key(0.008)
+
+    def test_config_carries_schedule_through(self):
+        request = FleetRunRequest(
+            scenario="rush", scheduler="fifo", sync_policy="sync-switch",
+            seed=0,
+            protocols=("bsp", "ssp", "asp"),
+            fractions=(0.25, 0.25, 0.5),
+        )
+        config = request.config(0.008)
+        assert config.protocols == ("bsp", "ssp", "asp")
+        assert config.fractions == (0.25, 0.25, 0.5)

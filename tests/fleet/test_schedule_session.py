@@ -1,0 +1,109 @@
+"""Tests for the incremental N-segment schedule search session."""
+
+import pytest
+
+from repro.core.search import ScheduleSearch, SearchConfig
+from repro.errors import SearchError
+from repro.fleet.tuning import ScheduleSearchSession
+
+
+def schedule_trial(protocols, fractions, run):
+    """Noise-free: accurate when the opener covers >=20% of the budget."""
+    accuracy = 0.90 if fractions[0] >= 0.2 else 0.80
+    return accuracy, 50.0 + 100.0 * fractions[0]
+
+
+CONFIG = SearchConfig(beta=0.05, max_settings=4, runs_per_setting=2, bsp_runs=2)
+
+
+def drive(session):
+    while not session.done:
+        batch = session.next_batch()
+        protocols = session.protocols
+        for run, fractions in enumerate(batch):
+            session.record(*schedule_trial(protocols, fractions, run))
+    return session.result()
+
+
+class TestEquivalenceWithOfflineScheduleSearch:
+    """The session must replay ScheduleSearch exactly."""
+
+    @pytest.mark.parametrize(
+        "sequences",
+        [
+            (("bsp", "asp"),),
+            (("bsp", "ssp", "asp"),),
+            (("bsp", "asp"), ("bsp", "ssp", "asp"), ("bsp", "dssp")),
+        ],
+    )
+    def test_same_schedule_target_and_trials(self, sequences):
+        offline = ScheduleSearch(schedule_trial, CONFIG, sequences).search()
+        result = drive(ScheduleSearchSession(CONFIG, sequences))
+        assert result.protocols == offline.protocols
+        assert result.fractions == offline.fractions
+        assert result.target_accuracy == offline.target_accuracy
+        assert result.search_time == pytest.approx(offline.search_time)
+        assert [
+            (t.protocols, t.fractions, t.run_index, t.accuracy, t.time,
+             t.valid)
+            for t in result.trials
+        ] == [
+            (t.protocols, t.fractions, t.run_index, t.accuracy, t.time,
+             t.valid)
+            for t in offline.trials
+        ]
+
+    def test_candidate_prices_match(self):
+        sequences = (("bsp", "asp"), ("bsp", "ssp", "asp"))
+        offline = ScheduleSearch(schedule_trial, CONFIG, sequences).search()
+        result = drive(ScheduleSearchSession(CONFIG, sequences))
+        assert [
+            (c.protocols, c.fractions, c.expected_time)
+            for c in result.candidates
+        ] == [
+            (c.protocols, c.fractions, c.expected_time)
+            for c in offline.candidates
+        ]
+
+
+class TestSessionProtocol:
+    def test_opener_batch_first_then_candidates(self):
+        session = ScheduleSearchSession(
+            CONFIG, (("bsp", "ssp", "asp"),)
+        )
+        assert session.target_accuracy is None
+        batch = session.next_batch()
+        assert batch == ((1.0, 0.0, 0.0), (1.0, 0.0, 0.0))
+        assert session.protocols == ("bsp", "ssp", "asp")
+        assert session.awaiting == 2
+        session.record(0.9, 100.0)
+        session.record(0.9, 100.0)
+        assert session.target_accuracy == pytest.approx(0.9)
+        # First candidate: boundary 1 at 0.5, boundary 2 pinned at 1.0.
+        assert session.next_batch() == ((0.5, 0.5, 0.0), (0.5, 0.5, 0.0))
+
+    def test_next_batch_with_outstanding_trials_rejected(self):
+        session = ScheduleSearchSession(CONFIG)
+        session.next_batch()
+        with pytest.raises(SearchError):
+            session.next_batch()
+
+    def test_record_without_batch_rejected(self):
+        session = ScheduleSearchSession(CONFIG)
+        with pytest.raises(SearchError):
+            session.record(0.9, 100.0)
+
+    def test_result_before_done_rejected(self):
+        session = ScheduleSearchSession(CONFIG)
+        with pytest.raises(SearchError):
+            session.result()
+
+    def test_done_session_yields_empty_batch(self):
+        session = ScheduleSearchSession(CONFIG)
+        drive(session)
+        assert session.done
+        assert session.next_batch() == ()
+
+    def test_invalid_sequences_rejected_up_front(self):
+        with pytest.raises(SearchError):
+            ScheduleSearchSession(CONFIG, (("asp", "bsp"),))

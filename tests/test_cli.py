@@ -259,3 +259,67 @@ def test_fleet_policy_store_scale_mismatch_rejected(capsys, tmp_path):
                  "--scheduler", "fifo", "--policy", "bsp",
                  "--scale", "0.02"]) == 2
     assert "not comparable across scales" in capsys.readouterr().err
+
+
+def test_parser_schedule_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["search", "--protocols", "bsp,ssp,asp", "--protocols", "bsp,asp"]
+    )
+    assert args.protocols == ["bsp,ssp,asp", "bsp,asp"]
+    args = parser.parse_args(
+        ["fleet", "--protocols", "bsp,ssp,asp", "--fractions", "0.4,0.3,0.3"]
+    )
+    assert args.protocols == "bsp,ssp,asp"
+    assert args.fractions == "0.4,0.3,0.3"
+
+
+def test_fleet_fractions_need_protocols(capsys):
+    assert main(["fleet", "--fractions", "0.5,0.5"]) == 2
+    assert "--protocols" in capsys.readouterr().err
+
+
+def test_fleet_protocols_need_fractions_or_tune(capsys):
+    assert main(["fleet", "--protocols", "bsp,asp"]) == 2
+    assert "--fractions" in capsys.readouterr().err
+
+
+def test_fleet_fractions_do_not_combine_with_tune(capsys):
+    assert main(["fleet", "--tune", "--protocols", "bsp,asp",
+                 "--fractions", "0.5,0.5"]) == 2
+    assert "--tune" in capsys.readouterr().err
+
+
+def test_fleet_malformed_fractions_rejected(capsys):
+    assert main(["fleet", "--protocols", "bsp,asp",
+                 "--fractions", "half,half"]) == 2
+    assert "comma-separated numbers" in capsys.readouterr().err
+
+
+def test_search_invalid_schedule_rejected(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["search", "--protocols", "asp,bsp", "--scale",
+                 "0.008", "--runs", "1"]) == 2
+    assert "more to less precise" in capsys.readouterr().err
+
+
+def test_search_schedule_command_tiny(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["search", "--setup", "3", "--scale", "0.008", "--runs",
+                 "1", "--protocols", "bsp,asp"]) == 0
+    out = capsys.readouterr().out
+    assert "found schedule   : BSP -> ASP" in out
+    assert "fractions" in out
+
+
+def test_fleet_fixed_schedule_command_tiny(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out_path = tmp_path / "fleet_summary.json"
+    assert main(["fleet", "--scenario", "surge", "--jobs", "2",
+                 "--scheduler", "fifo", "--policy", "sync-switch",
+                 "--scale", "0.008", "--protocols", "bsp,ssp,asp",
+                 "--fractions", "0.25,0.25,0.5",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet (surge)" in out
+    assert out_path.exists()
