@@ -23,6 +23,7 @@ in sync with this parser).
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -41,6 +42,7 @@ from repro.experiments.fleet import (
     fleet_grid,
     fleet_report,
     fleet_tuning_report,
+    run_traced_fleet,
     tuning_grid,
     tuning_summary_payload,
     write_fleet_summary,
@@ -66,8 +68,42 @@ from repro.fleet import (
     PolicyStore,
     load_trace,
 )
+from repro.obs import (
+    DETAIL_LEVELS,
+    trace_categories,
+    write_chrome_trace,
+    write_metrics_dump,
+)
 
 __all__ = ["main", "build_parser"]
+
+#: Progress/diagnostic channel: INFO and below go to stdout, WARNING
+#: and above to stderr (see :func:`_configure_logging`).  Result
+#: output — report tables, run summaries, artifact paths' payloads —
+#: stays on plain ``print``.
+_LOG = logging.getLogger("repro.cli")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _configure_logging(level_name: str, quiet: bool) -> None:
+    """Route ``repro`` logging: INFO->stdout, WARNING+->stderr.
+
+    Reconfigures idempotently on every :func:`main` call so repeated
+    in-process invocations (tests, notebooks) rebind to the *current*
+    ``sys.stdout``/``sys.stderr`` and never stack duplicate handlers.
+    """
+    level = logging.WARNING if quiet else getattr(logging, level_name.upper())
+    logger = logging.getLogger("repro")
+    logger.handlers.clear()
+    logger.setLevel(level)
+    logger.propagate = False
+    stdout_handler = logging.StreamHandler(sys.stdout)
+    stdout_handler.addFilter(lambda record: record.levelno < logging.WARNING)
+    stderr_handler = logging.StreamHandler(sys.stderr)
+    stderr_handler.setLevel(logging.WARNING)
+    logger.addHandler(stdout_handler)
+    logger.addHandler(stderr_handler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sync-switch",
         description="Sync-Switch hybrid-synchronization reproduction",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default="info",
+        help="progress/diagnostic verbosity (before the subcommand; "
+        "default info)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress output (shorthand for --log-level warning)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -148,9 +196,32 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=0)
     fleet.add_argument("--scale", type=float, default=DEFAULT_FLEET_SCALE)
     fleet.add_argument(
+        "--workload-trace",
+        default=None,
+        metavar="PATH",
+        help="JSON trace of job arrivals (replaces the scenario stream)",
+    )
+    fleet.add_argument(
         "--trace",
         default=None,
-        help="JSON trace of job arrivals (replaces the scenario stream)",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the run here (load it "
+        "in Perfetto); runs one scheduler x policy stream, narrowing "
+        "'all' defaults to fifo / sync-switch",
+    )
+    fleet.add_argument(
+        "--trace-detail",
+        default="job",
+        choices=DETAIL_LEVELS,
+        help="span granularity for --trace: fleet-level only, + per-job "
+        "lifecycle/segments (default), + per-update barriers/pushes",
+    )
+    fleet.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        help="virtual-time seconds between metrics snapshots in the "
+        "--trace metrics dump (default 60)",
     )
     fleet.add_argument(
         "--procs",
@@ -348,7 +419,7 @@ def _cmd_search_schedule(args, setup, runner, config) -> int:
     try:
         outcome = ScheduleSearch(trial, config, sequences).search()
     except SearchError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error("error: %s", exc)
         return 2
     fractions = ", ".join(f"{value:g}" for value in outcome.fractions)
     print(f"setup            : {setup.describe()}")
@@ -378,7 +449,11 @@ def _cmd_report(args) -> int:
         # Cross-artifact scheduling: one deduplicated union batch warms
         # the cache before any artifact renders.
         cells = prefetch_union(runner, [ARTIFACTS[name] for name in names])
-        print(f"prefetched {cells} unique cells across {len(names)} artifacts")
+        _LOG.info(
+            "prefetched %d unique cells across %d artifacts",
+            cells,
+            len(names),
+        )
     for index, name in enumerate(names):
         if index:
             print()
@@ -387,25 +462,35 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    if args.trace and args.jobs is not None:
-        print(
+    if args.workload_trace and args.jobs is not None:
+        _LOG.error(
             "error: --jobs sets the generated stream length and cannot be "
-            "combined with --trace (the trace fixes the stream)",
-            file=sys.stderr,
+            "combined with --workload-trace (the trace fixes the stream)"
         )
         return 2
     if args.seeds is not None and not args.tune:
-        print(
+        _LOG.error(
             "error: --seeds controls the --tune confidence intervals; "
-            "without --tune the fleet grid runs the single --seed stream",
-            file=sys.stderr,
+            "without --tune the fleet grid runs the single --seed stream"
         )
         return 2
     if args.slo and args.scheduler not in ("all", "slo"):
-        print(
-            f"error: --slo selects the slo scheduler and cannot be "
-            f"combined with --scheduler {args.scheduler}",
-            file=sys.stderr,
+        _LOG.error(
+            "error: --slo selects the slo scheduler and cannot be "
+            "combined with --scheduler %s",
+            args.scheduler,
+        )
+        return 2
+    if args.metrics_interval is not None and not args.trace:
+        _LOG.error(
+            "error: --metrics-interval tunes the --trace metrics dump; "
+            "give --trace PATH to enable tracing"
+        )
+        return 2
+    if args.trace and args.tune:
+        _LOG.error(
+            "error: --trace records one stream and cannot be combined "
+            "with --tune (a multi-cell comparison grid)"
         )
         return 2
     protocols = _parse_protocols(args.protocols) if args.protocols else None
@@ -414,34 +499,30 @@ def _cmd_fleet(args) -> int:
             _parse_fractions(args.fractions) if args.fractions else None
         )
     except ValueError:
-        print(
+        _LOG.error(
             "error: --fractions must be comma-separated numbers "
-            "(e.g. 0.4,0.3,0.3)",
-            file=sys.stderr,
+            "(e.g. 0.4,0.3,0.3)"
         )
         return 2
     if fractions is not None and protocols is None:
-        print(
+        _LOG.error(
             "error: --fractions needs --protocols to name the schedule "
-            "segments",
-            file=sys.stderr,
+            "segments"
         )
         return 2
     if protocols is not None and fractions is None and not args.tune:
-        print(
+        _LOG.error(
             "error: --protocols without --tune needs --fractions (with "
-            "--tune the in-fleet search finds the fractions)",
-            file=sys.stderr,
+            "--tune the in-fleet search finds the fractions)"
         )
         return 2
     if fractions is not None and args.tune:
-        print(
+        _LOG.error(
             "error: --fractions fixes the schedule and cannot be "
-            "combined with --tune (which searches for it)",
-            file=sys.stderr,
+            "combined with --tune (which searches for it)"
         )
         return 2
-    trace = load_trace(args.trace) if args.trace else None
+    trace = load_trace(args.workload_trace) if args.workload_trace else None
     # A trace replaces the scenario stream entirely; label the run (and
     # its cache keys) accordingly instead of with the unused scenario.
     scenario = "trace" if trace is not None else args.scenario
@@ -449,6 +530,8 @@ def _cmd_fleet(args) -> int:
         return _cmd_fleet_store(args, scenario, trace, protocols, fractions)
     if args.tune:
         return _cmd_fleet_tune(args, scenario, trace, protocols)
+    if args.trace:
+        return _cmd_fleet_traced(args, scenario, trace, protocols, fractions)
     schedulers = (
         tuple(sorted(SCHEDULERS))
         if args.scheduler == "all"
@@ -476,7 +559,82 @@ def _cmd_fleet(args) -> int:
     target = write_fleet_summary(
         grid, scenario, args.scale, args.seed, path=args.out
     )
-    print(f"\nfleet summary written to {target}")
+    _LOG.info("\nfleet summary written to %s", target)
+    return 0
+
+
+def _trace_cell_selection(args) -> tuple[str, str]:
+    """The single (scheduler, policy) a ``--trace`` run records.
+
+    Tracing the full grid would interleave unrelated runs in one
+    timeline, so the 'all' defaults narrow to the canonical traced
+    cell (fifo / sync-switch) with an INFO note.
+    """
+    if args.slo:
+        scheduler = "slo"
+    elif args.scheduler == "all":
+        scheduler = "fifo"
+        _LOG.info("--trace narrows --scheduler all to fifo")
+    else:
+        scheduler = args.scheduler
+    if args.policy == "all":
+        policy = "sync-switch"
+        _LOG.info("--trace narrows --policy all to sync-switch")
+    else:
+        policy = args.policy
+    return scheduler, policy
+
+
+def _write_trace_outputs(args, events: list, metrics: dict | None) -> None:
+    """Write the Chrome trace (and its sibling metrics dump)."""
+    trace_path = Path(args.trace)
+    write_chrome_trace(events, trace_path)
+    categories = trace_categories(events)
+    _LOG.info(
+        "trace written to %s (%d events, %d categories: %s)",
+        trace_path,
+        len(events),
+        len(categories),
+        ", ".join(sorted(categories)),
+    )
+    if metrics is not None:
+        metrics_path = trace_path.with_name(trace_path.stem + ".metrics.json")
+        write_metrics_dump(metrics, metrics_path)
+        _LOG.info("metrics dump written to %s", metrics_path)
+
+
+def _cmd_fleet_traced(args, scenario: str, trace, protocols, fractions) -> int:
+    """The ``fleet --trace`` path: one observed stream, span export.
+
+    Runs a single traced cell through the cached executor path — the
+    summary is bit-identical to the untraced cell's (tracing never
+    touches the simulation) — then exports the Perfetto-loadable
+    Chrome trace plus the interval-snapshot metrics dump.
+    """
+    scheduler, policy = _trace_cell_selection(args)
+    run = run_traced_fleet(
+        scenario=scenario,
+        scheduler=scheduler,
+        sync_policy=policy,
+        seed=args.seed,
+        scale=args.scale,
+        n_jobs=args.jobs,
+        trace=trace,
+        trace_detail=args.trace_detail,
+        metrics_interval=args.metrics_interval,
+        jobs=args.procs,
+        resim=args.resim,
+        protocols=protocols,
+        fractions=fractions,
+    )
+    print(render_report(fleet_report({(scheduler, policy): run.summary},
+                                     scenario)))
+    _write_trace_outputs(args, run.events, run.metrics)
+    target = write_fleet_summary(
+        {(scheduler, policy): run.summary}, scenario, args.scale, args.seed,
+        path=args.out,
+    )
+    _LOG.info("fleet summary written to %s", target)
     return 0
 
 
@@ -496,35 +654,32 @@ def _cmd_fleet_store(args, scenario: str, trace, protocols, fractions) -> int:
     elif args.scheduler != "all":
         scheduler = args.scheduler
     else:
-        print(
+        _LOG.error(
             "error: --policy-store runs a single stream; pick one "
-            "--scheduler (or --slo)",
-            file=sys.stderr,
+            "--scheduler (or --slo)"
         )
         return 2
     if args.tune:
         if args.policy not in ("all", "sync-switch"):
-            print(
+            _LOG.error(
                 "error: --policy-store --tune searches sync-switch "
-                f"streams; --policy {args.policy} does not combine",
-                file=sys.stderr,
+                "streams; --policy %s does not combine",
+                args.policy,
             )
             return 2
         policy = "sync-switch"
     elif args.policy != "all":
         policy = args.policy
     else:
-        print(
+        _LOG.error(
             "error: --policy-store without --tune needs one --policy "
-            "for the stream",
-            file=sys.stderr,
+            "for the stream"
         )
         return 2
     if args.seeds is not None:
-        print(
+        _LOG.error(
             "error: --seeds controls the --tune comparison grid and "
-            "does not combine with --policy-store (use --seed)",
-            file=sys.stderr,
+            "does not combine with --policy-store (use --seed)"
         )
         return 2
     store_path = Path(args.policy_store)
@@ -532,7 +687,7 @@ def _cmd_fleet_store(args, scenario: str, trace, protocols, fractions) -> int:
         try:
             store = PolicyStore.load(store_path, scale=args.scale)
         except ConfigurationError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _LOG.error("error: %s", exc)
             return 2
     else:
         store = PolicyStore()
@@ -550,6 +705,8 @@ def _cmd_fleet_store(args, scenario: str, trace, protocols, fractions) -> int:
             resim=args.resim,
             protocols=protocols,
             fractions=fractions,
+            trace_detail=args.trace_detail if args.trace else None,
+            metrics_interval=args.metrics_interval,
         ),
         store=store,
     )
@@ -572,12 +729,16 @@ def _cmd_fleet_store(args, scenario: str, trace, protocols, fractions) -> int:
             )
         )
     target = store.save(store_path, scale=args.scale)
-    print(f"policy store written to {target}")
+    _LOG.info("policy store written to %s", target)
+    if args.trace:
+        _write_trace_outputs(
+            args, list(simulator.tracer.events), simulator.metrics_payload
+        )
     out = write_fleet_summary(
         {(scheduler, policy): summary}, scenario, args.scale, args.seed,
         path=args.out,
     )
-    print(f"fleet summary written to {out}")
+    _LOG.info("fleet summary written to %s", out)
     return 0
 
 
@@ -589,17 +750,15 @@ def _cmd_fleet_tune(args, scenario: str, trace, protocols) -> int:
     ``--policy`` does not combine with it.
     """
     if args.policy != "all":
-        print(
+        _LOG.error(
             "error: --policy cannot be combined with --tune (the tuning "
-            "grid always compares bsp vs tuned sync-switch)",
-            file=sys.stderr,
+            "grid always compares bsp vs tuned sync-switch)"
         )
         return 2
     if args.seed != 0:
-        print(
+        _LOG.error(
             "error: --seed cannot be combined with --tune; the tuning "
-            "grid always runs seeds 0..N-1 (choose N with --seeds)",
-            file=sys.stderr,
+            "grid always runs seeds 0..N-1 (choose N with --seeds)"
         )
         return 2
     if args.slo:
@@ -610,7 +769,7 @@ def _cmd_fleet_tune(args, scenario: str, trace, protocols) -> int:
         scheduler = args.scheduler
     seeds = args.seeds if args.seeds is not None else DEFAULT_TUNING_SEEDS
     if seeds < 1:
-        print("error: --seeds must be >= 1", file=sys.stderr)
+        _LOG.error("error: --seeds must be >= 1")
         return 2
     grid = tuning_grid(
         scenarios=(scenario,),
@@ -628,7 +787,7 @@ def _cmd_fleet_tune(args, scenario: str, trace, protocols) -> int:
     )
     print(render_report(fleet_tuning_report(payload)))
     target = write_tuning_summary(payload, path=args.out)
-    print(f"\nfleet tuning summary written to {target}")
+    _LOG.info("\nfleet tuning summary written to %s", target)
     return 0
 
 
@@ -641,20 +800,20 @@ def _cmd_bench(args) -> int:
         target = write_payload(
             artifact, args.out or "results/hotpath_speedup.json"
         )
-        print(f"\nspeedup artifact written to {target}")
+        _LOG.info("\nspeedup artifact written to %s", target)
     elif args.out:
         target = write_payload(payload, args.out)
-        print(f"\nbenchmark payload written to {target}")
+        _LOG.info("\nbenchmark payload written to %s", target)
     if args.check:
         regressions = check_regression(
             payload, load_payload(args.check), args.tolerance
         )
         if regressions:
-            print("\nPERF REGRESSION vs " + args.check, file=sys.stderr)
+            _LOG.error("\nPERF REGRESSION vs %s", args.check)
             for line in regressions:
-                print("  " + line, file=sys.stderr)
+                _LOG.error("  %s", line)
             return 1
-        print(f"\nperf check ok vs {args.check}")
+        _LOG.info("\nperf check ok vs %s", args.check)
     return 0
 
 
@@ -682,6 +841,7 @@ def _cmd_list(_args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args.log_level, args.quiet)
     handlers = {
         "run": _cmd_run,
         "search": _cmd_search,

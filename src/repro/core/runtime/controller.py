@@ -34,6 +34,7 @@ from repro.distsim.stragglers import StragglerSchedule
 from repro.distsim.telemetry import TrainingResult
 from repro.distsim.trainer import DistributedTrainer
 from repro.errors import DivergenceError
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["SyncSwitchController", "JobResult"]
 
@@ -66,9 +67,12 @@ class SyncSwitchController:
     parallel_actuator: bool = True
     profiler_window: int = 5
     overhead_time_scale: float = 1.0
+    tracer: object | None = None
     _interventions: list[dict] = field(default_factory=list)
 
     def __post_init__(self):
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
         self.cluster = Cluster(self.cluster_spec)
         self.actuator = (
             ParallelActuator(time_scale=self.overhead_time_scale)
@@ -81,6 +85,7 @@ class SyncSwitchController:
             stragglers=self.stragglers,
             ambient_noise=self.ambient_noise,
             provisioning=self.actuator.provisioning,
+            tracer=self.tracer,
         )
         self.hooks = HookManager(self.cluster_spec.n_workers)
         self.checkpoints = CheckpointStore()
@@ -270,6 +275,15 @@ class SyncSwitchController:
         )
         session.clock.advance(seconds)
         session.telemetry.record_overhead(session.clock.now, "switch", seconds)
+        if self.tracer.wants("job"):
+            self.tracer.span(
+                "switch",
+                "overhead",
+                session.clock.now - seconds,
+                seconds,
+                tid=1,
+                args={"to": segment.protocol},
+            )
         self.checkpoints.restore(session, checkpoint)
 
     # ------------------------------------------------------------------
@@ -330,6 +344,14 @@ class SyncSwitchController:
                 **details,
             }
         )
+        if self.tracer.wants("job"):
+            self.tracer.instant(
+                kind,
+                "intervention",
+                session.clock.now,
+                tid=1,
+                args={"step": session.step, **details},
+            )
 
     @staticmethod
     def _synchronous_steps(result: TrainingResult) -> int:

@@ -58,6 +58,7 @@ from repro.distsim.stragglers import StragglerSchedule
 from repro.distsim.telemetry import TrainingResult
 from repro.distsim.trainer import DistributedTrainer
 from repro.errors import ConfigurationError, DivergenceError
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["ElasticTrainingRun"]
 
@@ -83,6 +84,7 @@ class ElasticTrainingRun:
         ambient_noise: bool = True,
         parallel_actuator: bool = True,
         overhead_time_scale: float = 1.0,
+        tracer=None,
     ):
         if policies.straggler is not None and policies.straggler.reacts_online():
             raise ConfigurationError(
@@ -104,6 +106,7 @@ class ElasticTrainingRun:
             stragglers=stragglers,
             ambient_noise=ambient_noise,
             provisioning=self.actuator.provisioning,
+            tracer=tracer,
         )
         self.hooks = HookManager(cluster_spec.n_workers)
         self.checkpoints = CheckpointStore()
@@ -288,6 +291,16 @@ class ElasticTrainingRun:
         self.session.telemetry.record_overhead(
             self.session.clock.now, "switch", seconds
         )
+        tracer = self.trainer.tracer
+        if tracer.wants("job"):
+            tracer.span(
+                "switch",
+                "overhead",
+                self.session.clock.now - seconds,
+                seconds,
+                tid=1,
+                args={"to": segment.protocol},
+            )
         self.checkpoints.restore(self.session, checkpoint)
 
     # ------------------------------------------------------------------
@@ -347,6 +360,18 @@ class ElasticTrainingRun:
             schedule = schedule.merged_with(self.trainer.ambient)
         self.session.stragglers = schedule
 
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to this run (and its live session).
+
+        Used by the fleet to give a forked completion projection a
+        sandbox trace buffer: the fork starts with the null tracer so
+        speculative work never pollutes the live trace, and the fleet
+        absorbs the buffer of whichever projection became the job's
+        realized tail.
+        """
+        self.trainer.tracer = tracer
+        self.session.tracer = tracer
+
     # ------------------------------------------------------------------
     # projection and results
     # ------------------------------------------------------------------
@@ -382,6 +407,10 @@ class ElasticTrainingRun:
         memo[id(self.checkpoints)] = CheckpointStore(
             keep_last=self.checkpoints.keep_last
         )
+        # Projections are speculative: they start untraced (callers
+        # attach a sandbox via set_tracer when they want the events).
+        memo[id(self.trainer.tracer)] = NULL_TRACER
+        memo[id(self.session.tracer)] = NULL_TRACER
         return copy.deepcopy(self, memo)
 
     def result(self) -> TrainingResult:

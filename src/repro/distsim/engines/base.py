@@ -27,6 +27,7 @@ from repro.mlcore.metrics import ConvergenceTracker
 from repro.mlcore.models import ResidualMLPClassifier
 from repro.mlcore.optim import MomentumSchedule, PiecewiseDecaySchedule
 from repro.distsim.events import SimClock
+from repro.obs.tracer import NULL_TRACER
 from repro.rng import child_rng
 
 __all__ = ["TrainingSession", "GradientBatcher", "Engine", "StopCondition"]
@@ -63,6 +64,9 @@ class TrainingSession:
         self.clock = SimClock()
         self.telemetry = TrainingTelemetry()
         self.tracker = ConvergenceTracker()
+        # Observational only; never advances the clock or draws RNG.
+        # The trainer installs a live tracer when tracing is on.
+        self.tracer = NULL_TRACER
         self.lr_schedule = PiecewiseDecaySchedule(job.base_lr)
         self._lr_steps = tuple(
             zip(self.lr_schedule.boundaries, self.lr_schedule.factors)
@@ -225,6 +229,14 @@ class TrainingSession:
         )
         self.telemetry.record_eval(self.step, self.clock.now, accuracy)
         self.tracker.update(self.clock.now, self.step, accuracy)
+        if self.tracer.enabled and self.tracer.wants("job"):
+            self.tracer.instant(
+                "eval",
+                "eval",
+                self.clock.now,
+                tid=1,
+                args={"step": self.step, "accuracy": accuracy},
+            )
         return accuracy
 
     def check_divergence(self, loss: float) -> None:
@@ -275,6 +287,10 @@ class TrainingSession:
             self.stragglers,
         ):
             memo[id(shared)] = shared
+        # Forks are speculative by default: the copy must not write
+        # into the live trace.  Callers that want a traced projection
+        # attach a sandbox tracer afterwards.
+        memo[id(self.tracer)] = NULL_TRACER
         return copy.deepcopy(self, memo)
 
 

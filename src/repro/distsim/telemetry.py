@@ -227,17 +227,18 @@ class TrainingTelemetry:
         return sum(1 for _, kind, _ in self.overheads if kind == "switch")
 
     def staleness_summary(self) -> dict[str, float]:
-        """Mean / p95 / max of the realized staleness distribution."""
+        """Mean / p50 / p95 / max of the realized staleness distribution."""
         if self._staleness_max < 0:
-            return {"mean": 0.0, "p95": 0.0, "max": 0.0}
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
         hist = self._staleness_hist[: self._staleness_max + 1]
         values = np.nonzero(hist)[0].astype(np.float64)
         counts = hist[np.nonzero(hist)[0]].astype(np.float64)
         total = counts.sum()
         mean = float((values * counts).sum() / total)
         cumulative = np.cumsum(counts) / total
+        p50 = float(values[np.searchsorted(cumulative, 0.50)])
         p95 = float(values[np.searchsorted(cumulative, 0.95)])
-        return {"mean": mean, "p95": p95, "max": float(values[-1])}
+        return {"mean": mean, "p50": p50, "p95": p95, "max": float(values[-1])}
 
 
 @dataclass(frozen=True)

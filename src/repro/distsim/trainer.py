@@ -13,7 +13,7 @@ Policy *decisions* (which plan, when to react to stragglers) live in
 from __future__ import annotations
 
 from repro.distsim.cluster import Cluster, ClusterSpec
-from repro.distsim.engines import make_engine
+from repro.distsim.engines import is_synchronous, make_engine
 from repro.distsim.engines.base import StopCondition, TrainingSession
 from repro.distsim.job import JobConfig, Segment, TrainingPlan
 from repro.distsim.overheads import ProvisioningModel
@@ -23,6 +23,7 @@ from repro.distsim.timing import timing_for
 from repro.errors import DivergenceError
 from repro.mlcore.datasets import make_dataset
 from repro.mlcore.models import make_model
+from repro.obs.tracer import NULL_TRACER
 from repro.rng import child_rng
 
 __all__ = ["DistributedTrainer", "JobConfig", "Segment", "TrainingPlan"]
@@ -45,10 +46,12 @@ class DistributedTrainer:
         stragglers: StragglerSchedule | None = None,
         ambient_noise: bool = True,
         provisioning: ProvisioningModel | None = None,
+        tracer=None,
     ):
         self.job = job
         self.cluster = cluster if isinstance(cluster, Cluster) else Cluster(cluster)
         self.provisioning = provisioning or ProvisioningModel(parallel=True)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.model = make_model(job.model)
         self.dataset = make_dataset(job.dataset)
         self.timing = timing_for(job.model, self.cluster.spec.gpu)
@@ -73,7 +76,7 @@ class DistributedTrainer:
 
     def new_session(self) -> TrainingSession:
         """A fresh session (parameters re-initialised from the job seed)."""
-        return TrainingSession(
+        session = TrainingSession(
             job=self.job,
             model=self.model,
             dataset=self.dataset,
@@ -81,6 +84,8 @@ class DistributedTrainer:
             cluster=self.cluster,
             stragglers=self.stragglers,
         )
+        session.tracer = self.tracer
+        return session
 
     def run(
         self,
@@ -129,6 +134,8 @@ class DistributedTrainer:
             charge_switch = previous is not None and previous != segment.protocol
         if charge_switch:
             self.charge_switch_overhead(session)
+        tracer = self.tracer
+        cursor = len(session.telemetry.worker_durations) if tracer.enabled else 0
         session.telemetry.open_segment(
             segment.protocol, session.step, session.clock.now
         )
@@ -137,13 +144,47 @@ class DistributedTrainer:
             reason = engine.run(session, steps, segment.options, stop)
         finally:
             session.telemetry.close_segment(session.step, session.clock.now)
+            if tracer.enabled:
+                self._emit_segment(session, tracer, cursor)
         return reason
+
+    def _emit_segment(self, session: TrainingSession, tracer, cursor: int) -> None:
+        """Trace the segment just closed (and, at update detail, each
+        worker update inside it, reconstructed from the telemetry
+        worker-duration log starting at ``cursor``)."""
+        record = session.telemetry.segments[-1]
+        if tracer.wants("job"):
+            tracer.span(
+                record.protocol,
+                "segment",
+                record.start_time,
+                record.duration,
+                tid=1,
+                args={
+                    "start_step": record.start_step,
+                    "end_step": record.end_step,
+                },
+            )
+        if tracer.wants("update"):
+            # Synchronous engines log (round_start, worker, duration);
+            # asynchronous engines log (apply_end, worker, duration).
+            synchronous = is_synchronous(record.protocol)
+            name = "barrier" if synchronous else "push"
+            entries = session.telemetry.worker_durations
+            for index in range(cursor, len(entries)):
+                t, worker, duration = entries[index]
+                start = t if synchronous else t - duration
+                tracer.span(name, name, start, duration, tid=3 + int(worker))
 
     def charge_switch_overhead(self, session: TrainingSession) -> None:
         """Checkpoint + reconfigure + restart cost of a protocol switch."""
         seconds = self.provisioning.switch_time(self.cluster.spec.n_workers)
         session.clock.advance(seconds)
         session.telemetry.record_overhead(session.clock.now, "switch", seconds)
+        if self.tracer.wants("job"):
+            self.tracer.span(
+                "switch", "overhead", session.clock.now - seconds, seconds, tid=1
+            )
 
     def charge_resize_overhead(self, session: TrainingSession, kind: str) -> None:
         """Elastic evict/restore reconfiguration cost."""
@@ -153,6 +194,10 @@ class DistributedTrainer:
             seconds = self.provisioning.restore_time(self.cluster.spec.n_workers)
         session.clock.advance(seconds)
         session.telemetry.record_overhead(session.clock.now, kind, seconds)
+        if self.tracer.wants("job"):
+            self.tracer.span(
+                kind, "overhead", session.clock.now - seconds, seconds, tid=1
+            )
 
     def finalize(
         self, session: TrainingSession, plan: TrainingPlan

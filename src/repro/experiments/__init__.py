@@ -83,6 +83,15 @@ def fleet_resim_artifact(runner):
     return _fleet_resim_artifact(runner)
 
 
+def fleet_trace_artifact(runner):
+    """The traced-cell metrics timeline (lazy import, see above)."""
+    from repro.experiments.fleet import (
+        fleet_trace_artifact as _fleet_trace_artifact,
+    )
+
+    return _fleet_trace_artifact(runner)
+
+
 #: Registry used by the CLI and the benchmark suite.
 ARTIFACTS = {
     "fig2": figure_2,
@@ -108,6 +117,7 @@ ARTIFACTS = {
     "fleet": fleet_artifact,
     "fleet-resim": fleet_resim_artifact,
     "fleet-search": fleet_tuning_artifact,
+    "fleet-trace": fleet_trace_artifact,
 }
 
 __all__ = [
@@ -123,6 +133,7 @@ __all__ = [
     "default_seeds",
     "fleet_artifact",
     "fleet_resim_artifact",
+    "fleet_trace_artifact",
     "fleet_tuning_artifact",
     "prefetch_union",
     "resolve_jobs",

@@ -43,29 +43,37 @@ from repro.fleet import (
     SCHEDULERS,
     SYNC_POLICIES,
     FleetConfig,
+    FleetSimulator,
     FleetSummary,
     JobRequest,
     simulate_fleet,
 )
+from repro.obs import trace_categories
 
 __all__ = [
     "DEFAULT_FLEET_SCALE",
     "DEFAULT_RESIM_SCENARIO",
+    "DEFAULT_TRACE_CELL",
     "DEFAULT_TUNING_SCENARIOS",
     "DEFAULT_TUNING_SEEDS",
     "FleetRunRequest",
+    "TracedFleetRun",
     "confidence_interval95",
     "fleet_artifact",
     "fleet_grid",
     "fleet_report",
     "fleet_resim_artifact",
     "fleet_resim_report",
+    "fleet_trace_artifact",
+    "fleet_trace_report",
     "fleet_tuning_artifact",
     "fleet_tuning_report",
     "resim_delta_payload",
+    "run_traced_fleet",
     "tuning_grid",
     "tuning_summary_payload",
     "write_fleet_summary",
+    "write_fleet_trace_metrics",
     "write_resim_delta",
     "write_tuning_summary",
 ]
@@ -101,6 +109,19 @@ DEFAULT_RESIM_PATH = (
 #: Seeds per tuning cell (95% CIs need at least two).
 DEFAULT_TUNING_SEEDS = 3
 
+#: Cell the ``fleet-trace`` artifact records: the contended rush
+#: stream under FIFO keeps the timeline readable (one admission wave,
+#: clear queue build-up) while Sync-Switch exercises every span
+#: category (segments, switches, phases, evals).
+DEFAULT_TRACE_CELL = ("rush", "fifo", "sync-switch")
+
+#: Default metrics-timeline artifact location.
+DEFAULT_TRACE_METRICS_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "results"
+    / "fleet_trace_metrics.json"
+)
+
 #: Step-budget scale used by every fleet entry point (the ``fleet``
 #: CLI and the ``report fleet`` artifact).  Fleet cells multiply one
 #: training run by (schedulers x policies x stream length), so they
@@ -117,6 +138,10 @@ class FleetRunRequest:
     cell (see :class:`~repro.fleet.fleet_sim.FleetConfig`);
     ``protocols``/``fractions`` select an N-segment schedule — searched
     over when tuning, trained directly when the fractions are fixed.
+    ``trace_detail``/``metrics_interval`` switch on the observability
+    layer for the cell; they are part of the cache key because a traced
+    cell stores a :class:`TracedFleetRun` payload rather than a bare
+    summary (the simulated outcome itself is tracing-invariant).
     """
 
     scenario: str
@@ -130,6 +155,8 @@ class FleetRunRequest:
     resim: str = "exact"
     protocols: tuple[str, ...] | None = None
     fractions: tuple[float, ...] | None = None
+    trace_detail: str | None = None
+    metrics_interval: float | None = None
 
     def key(self, scale: float) -> str:
         """Cache key of this cell at ``scale`` (the dedup identity)."""
@@ -156,6 +183,8 @@ class FleetRunRequest:
                 "fractions": (
                     None if self.fractions is None else list(self.fractions)
                 ),
+                "trace_detail": self.trace_detail,
+                "metrics_interval": self.metrics_interval,
             }
         )
 
@@ -174,6 +203,8 @@ class FleetRunRequest:
             resim=self.resim,
             protocols=self.protocols,
             fractions=self.fractions,
+            trace_detail=self.trace_detail,
+            metrics_interval=self.metrics_interval,
         )
 
 
@@ -244,6 +275,220 @@ def fleet_grid(
     }
 
 
+# ----------------------------------------------------------------------
+# fleet-trace: traced cells (virtual-time spans + metrics timeline)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TracedFleetRun:
+    """One traced fleet cell: summary, trace events and metrics.
+
+    ``events`` is the Chrome-trace-event list produced by the fleet's
+    :class:`~repro.obs.tracer.Tracer` (write it with
+    :func:`repro.obs.write_chrome_trace`); ``metrics`` is the
+    :meth:`~repro.obs.metrics.MetricsRegistry.payload` timeline, or
+    ``None`` when the cell ran without a metrics registry.
+    """
+
+    summary: FleetSummary
+    events: list
+    metrics: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "summary": self.summary.to_dict(),
+            "events": list(self.events),
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TracedFleetRun":
+        return cls(
+            summary=FleetSummary.from_dict(payload["summary"]),
+            events=list(payload["events"]),
+            metrics=payload.get("metrics"),
+        )
+
+
+@dataclass(frozen=True)
+class _TracedFleetRequest:
+    """Executor wrapper giving traced cells their own cache namespace.
+
+    A traced cell persists a full :class:`TracedFleetRun` payload, so
+    its key must never collide with a plain summary cell even if some
+    caller sets ``trace_detail`` on an untraced grid request.
+    """
+
+    base: FleetRunRequest
+
+    def key(self, scale: float) -> str:
+        return digest_key({"kind": "fleet-trace", "cell": self.base.key(scale)})
+
+    def config(self, scale: float) -> FleetConfig:
+        return self.base.config(scale)
+
+
+def _execute_traced_fleet_cell(payload: tuple) -> tuple[str, dict]:
+    """Pool worker: simulate one traced cell, capturing events + metrics."""
+    scale, cache_dir, request, key = payload
+    cache_path = Path(cache_dir) if cache_dir is not None else None
+    cached = disk_load(cache_path, key, TracedFleetRun.from_dict)
+    if cached is not None:
+        return key, cached.to_dict()
+    simulator = FleetSimulator(request.config(scale))
+    summary = simulator.run()
+    run = TracedFleetRun(
+        summary=summary,
+        events=list(simulator.tracer.events),
+        metrics=simulator.metrics_payload,
+    )
+    disk_store(cache_path, key, run)
+    return key, run.to_dict()
+
+
+def run_traced_fleet(
+    scenario: str = "rush",
+    scheduler: str = "fifo",
+    sync_policy: str = "sync-switch",
+    seed: int = 0,
+    scale: float = DEFAULT_FLEET_SCALE,
+    n_jobs: int | None = None,
+    trace: tuple[JobRequest, ...] | None = None,
+    trace_detail: str = "job",
+    metrics_interval: float | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    resim: str = "exact",
+    protocols: tuple[str, ...] | None = None,
+    fractions: tuple[float, ...] | None = None,
+    tune: bool = False,
+    tune_runs: int = 1,
+) -> TracedFleetRun:
+    """Simulate one fleet cell with the observability layer on.
+
+    Runs through the same :class:`ParallelExecutor` + disk-cache path
+    as :func:`fleet_grid`, so a traced run is cached, resumable, and —
+    because tracing never touches the simulation's clocks or RNG —
+    produces the bit-identical :class:`FleetSummary` the untraced cell
+    would.  The event list is deterministic too: the worker-process
+    count (``jobs``) cannot affect it.
+    """
+    request = _TracedFleetRequest(
+        FleetRunRequest(
+            scenario=scenario,
+            scheduler=scheduler,
+            sync_policy=sync_policy,
+            seed=seed,
+            n_jobs=n_jobs,
+            trace=trace,
+            tune=tune,
+            tune_runs=tune_runs,
+            resim=resim,
+            protocols=protocols,
+            fractions=fractions,
+            trace_detail=trace_detail,
+            metrics_interval=metrics_interval,
+        )
+    )
+    executor = ParallelExecutor(
+        scale=scale,
+        cache_dir=resolve_cache_dir(cache_dir),
+        jobs=jobs,
+        cell_fn=_execute_traced_fleet_cell,
+        decode=TracedFleetRun.from_dict,
+    )
+    results = executor.execute([request])
+    return results[request.key(scale)]
+
+
+def write_fleet_trace_metrics(
+    run: TracedFleetRun,
+    scenario: str,
+    scheduler: str,
+    sync_policy: str,
+    scale: float,
+    seed: int,
+    path: str | Path | None = None,
+) -> Path:
+    """Persist the ``results/fleet_trace_metrics.json`` artifact.
+
+    The artifact is the metrics *timeline* — interval snapshots of the
+    fleet gauges/counters plus the final totals — alongside a compact
+    census of the trace (event and per-category counts), not the raw
+    event list itself (that is what ``fleet --trace PATH`` emits).
+    """
+    target = Path(path) if path is not None else DEFAULT_TRACE_METRICS_PATH
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "sync_policy": sync_policy,
+        "scale": scale,
+        "seed": seed,
+        "n_events": len(run.events),
+        "categories": trace_categories(run.events),
+        "metrics": run.metrics,
+        "summary": {
+            "mean_jct": run.summary.mean_jct,
+            "makespan": run.summary.makespan,
+            "utilization": run.summary.utilization,
+            "staleness_p50": run.summary.staleness_p50,
+            "staleness_p95": run.summary.staleness_p95,
+            "staleness_max": run.summary.staleness_max,
+        },
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def fleet_trace_report(run: TracedFleetRun, scenario: str) -> Report:
+    """Fold a traced cell's metrics timeline into a :class:`Report`."""
+    rows = []
+    snapshots = (run.metrics or {}).get("snapshots", [])
+    for snapshot in snapshots:
+        gauges = snapshot.get("gauges", {})
+        counters = snapshot.get("counters", {})
+        rows.append(
+            {
+                "t_s": snapshot.get("t"),
+                "queue": gauges.get("queue_depth"),
+                "running": gauges.get("running_jobs"),
+                "util": gauges.get("pool_utilization"),
+                "admitted": counters.get("jobs_admitted"),
+                "completed": counters.get("jobs_completed"),
+                "switches": counters.get("protocol_switches"),
+                "overhead_s": counters.get("overhead_paid_s"),
+            }
+        )
+    categories = trace_categories(run.events)
+    return Report(
+        ident=f"Fleet trace ({scenario})",
+        title="Fleet metrics timeline: interval snapshots of the "
+        "observability registry",
+        columns=[
+            "t_s",
+            "queue",
+            "running",
+            "util",
+            "admitted",
+            "completed",
+            "switches",
+            "overhead_s",
+        ],
+        rows=rows,
+        notes=[
+            f"{len(run.events)} trace events across "
+            f"{len(categories)} categories: "
+            + ", ".join(sorted(categories)),
+            "snapshots are taken on the virtual-time metrics interval; "
+            "counters are cumulative, gauges instantaneous",
+            "export the span view with `fleet --trace PATH` and load "
+            "the file in Perfetto (see docs/observability.md)",
+        ],
+    )
+
+
 def fleet_report(
     grid: dict[tuple[str, str], FleetSummary], scenario: str
 ) -> Report:
@@ -265,6 +510,8 @@ def fleet_report(
                 "makespan_s": summary.makespan,
                 "utilization": summary.utilization,
                 "imgs_per_s": summary.images_per_second,
+                "stale_p50": summary.staleness_p50,
+                "stale_p95": summary.staleness_p95,
                 "preempt": summary.preemptions,
                 "diverged": summary.diverged_jobs,
                 "search_jobs": summary.n_search_jobs or None,
@@ -285,6 +532,8 @@ def fleet_report(
             "makespan_s",
             "utilization",
             "imgs_per_s",
+            "stale_p50",
+            "stale_p95",
             "preempt",
             "diverged",
             "search_jobs",
@@ -300,6 +549,8 @@ def fleet_report(
             "across a shared cluster: faster service drains the queue",
             "search_jobs/rejected/degraded/slo_attained only apply to "
             "tuned (--tune) or deadline (slo scheduler) runs",
+            "stale_p50/p95 average each completed job's gradient-"
+            "staleness percentiles (pure-BSP policies stay at 0)",
         ],
     )
 
@@ -332,6 +583,9 @@ def write_fleet_summary(
                     "restores",
                     "diverged_jobs",
                     "mean_accuracy",
+                    "staleness_p50",
+                    "staleness_p95",
+                    "staleness_max",
                     "n_jobs",
                     "pool_size",
                 )
@@ -927,4 +1181,37 @@ def fleet_artifact(runner: ExperimentRunner) -> Report:
         f"fleet cells always run at scale {DEFAULT_FLEET_SCALE:g} (the "
         "fleet CLI default); use `fleet --scale` to vary it"
     )
+    return report
+
+
+def fleet_trace_artifact(runner: ExperimentRunner) -> Report:
+    """The ``fleet-trace`` entry of the artifact registry.
+
+    Runs the default traced cell (:data:`DEFAULT_TRACE_CELL`) at
+    :data:`DEFAULT_FLEET_SCALE` with job-level detail and the default
+    metrics interval, then refreshes
+    ``results/fleet_trace_metrics.json`` — the metrics-timeline
+    artifact.  Not prefetchable as training cells.
+    """
+    if runner.is_collecting:
+        raise CollectionComplete
+    scenario, scheduler, sync_policy = DEFAULT_TRACE_CELL
+    run = run_traced_fleet(
+        scenario=scenario,
+        scheduler=scheduler,
+        sync_policy=sync_policy,
+        scale=DEFAULT_FLEET_SCALE,
+        jobs=runner.jobs,
+        cache_dir=runner.cache_dir if runner.cache_dir is not None else "off",
+    )
+    target = write_fleet_trace_metrics(
+        run,
+        scenario=scenario,
+        scheduler=scheduler,
+        sync_policy=sync_policy,
+        scale=DEFAULT_FLEET_SCALE,
+        seed=0,
+    )
+    report = fleet_trace_report(run, scenario)
+    report.notes.append(f"metrics timeline artifact refreshed at {target}")
     return report

@@ -87,6 +87,8 @@ from repro.distsim.telemetry import TrainingResult
 from repro.errors import ConfigurationError, FleetError, SearchError
 from repro.experiments.setups import SETUPS, scaled_job
 from repro.fleet.metrics import FleetSummary, JobRecord, summarize_fleet
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import DETAIL_LEVELS, NULL_TRACER, Tracer
 from repro.fleet.policy_store import (
     JobClass,
     PolicyStore,
@@ -165,6 +167,13 @@ class FleetConfig:
     resim: str = "exact"
     protocols: tuple[str, ...] | None = None
     fractions: tuple[float, ...] | None = None
+    #: Observability: ``trace_detail`` turns on the virtual-time tracer
+    #: at the given granularity; ``metrics_interval`` sets the registry
+    #: snapshot cadence in virtual seconds (tracing alone enables the
+    #: registry at its default cadence).  Purely observational — traced
+    #: runs are bit-identical to untraced ones.
+    trace_detail: str | None = None
+    metrics_interval: float | None = None
 
     def __post_init__(self):
         if self.resim not in RESIM_MODES:
@@ -188,6 +197,13 @@ class FleetConfig:
             raise ConfigurationError("tune_runs must be >= 1")
         if self.tune_beta < 0:
             raise ConfigurationError("tune_beta must be non-negative")
+        if self.trace_detail is not None and self.trace_detail not in DETAIL_LEVELS:
+            raise ConfigurationError(
+                f"unknown trace detail {self.trace_detail!r}; "
+                f"known: {DETAIL_LEVELS}"
+            )
+        if self.metrics_interval is not None and self.metrics_interval <= 0:
+            raise ConfigurationError("metrics_interval must be positive")
         if self.fractions is not None and self.protocols is None:
             raise ConfigurationError("fractions requires protocols")
         if self.protocols is not None:
@@ -300,6 +316,12 @@ class _RunningJob:
         self.version = 0
         self.preemptions = 0
         self.restores = 0
+        #: Job-scoped tracer view (pid/offset pinned) and the sandbox
+        #: buffer of the latest completion projection (exact mode) —
+        #: absorbed into the live trace only when the projection turns
+        #: out to be the realized tail.
+        self.tracer = NULL_TRACER
+        self.trace_buffer = NULL_TRACER
         #: Allocation history: one row per allocation-changing event.
         self.allocations: list[dict] = [
             {"time": start, "workers": len(workers), "cause": "admit"}
@@ -377,10 +399,27 @@ class FleetSimulator:
     #: stores let recurring classes reuse searched policies across
     #: fleet runs — the paper's ``(Yes, 0, r)`` setting.
     store: PolicyStore | None = None
+    #: Observability sinks; default-resolved from the config in
+    #: ``__post_init__`` (null objects when off).  Injectable for tests.
+    tracer: object | None = None
+    metrics: object | None = None
     _seq: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self):
         config = self.config
+        if self.tracer is None:
+            self.tracer = (
+                Tracer(config.trace_detail) if config.trace_detail else NULL_TRACER
+            )
+        if self.metrics is None:
+            if config.metrics_interval is not None:
+                self.metrics = MetricsRegistry(config.metrics_interval)
+            elif self.tracer.enabled:
+                self.metrics = MetricsRegistry()
+            else:
+                self.metrics = NULL_METRICS
+        #: Final metrics dump (set by ``run`` when the registry is on).
+        self.metrics_payload: dict | None = None
         if config.trace is not None:
             if not config.trace:
                 raise ConfigurationError("trace must contain at least one job")
@@ -443,6 +482,12 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     def run(self) -> FleetSummary:
         """Simulate the whole stream and return the fleet summary."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.process_name(
+                0, f"fleet {self.scenario_name}/{self.scheduler.name}"
+            )
+            tracer.thread_name(0, 0, "scheduler")
         for request in self.stream:
             self._push(request.arrival, _ARRIVAL, request)
         while self._heap:
@@ -450,6 +495,13 @@ class FleetSimulator:
             self._advance(now)
             if isinstance(payload, JobRequest):
                 self._queue.append(payload)
+                if tracer.enabled:
+                    tracer.instant(
+                        f"arrival job-{payload.job_id}",
+                        "arrival",
+                        now,
+                        args={"kind": payload.kind, "demand": payload.n_workers},
+                    )
             else:
                 kind, job_id, version = payload
                 job = self._running.get(job_id)
@@ -466,6 +518,8 @@ class FleetSimulator:
                 f"{len(self._running)} running job(s) and "
                 f"{len(self._sessions)} unfinished search(es)"
             )
+        if self.metrics.enabled:
+            self.metrics_payload = self.metrics.payload(self._last_time)
         return summarize_fleet(
             scenario=self.scenario_name,
             scheduler=self.scheduler.name,
@@ -488,17 +542,39 @@ class FleetSimulator:
     def _advance(self, now: float) -> None:
         self._busy_seconds += self.pool.busy_count * (now - self._last_time)
         self._last_time = now
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.set_gauge("queue_depth", len(self._queue))
+            metrics.set_gauge("running_jobs", len(self._running))
+            metrics.set_gauge("pool_busy", self.pool.busy_count)
+            metrics.set_gauge("pool_free", self.pool.free_count)
+            metrics.set_gauge(
+                "pool_utilization", self.pool.busy_count / self.pool.size
+            )
+            metrics.maybe_snapshot(now, self.tracer)
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def _schedule(self, now: float) -> None:
         """Triage, admit, preempt and rebalance until nothing changes."""
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "pass",
+                "scheduler",
+                now,
+                args={
+                    "queued": len(self._queue),
+                    "free": self.pool.free_count,
+                    "running": len(self._running),
+                },
+            )
         context = SchedulerContext(
             now=now,
             scale=self.config.scale,
             store=self.store,
             preemptible=self._preemptible_surplus(),
+            tracer=self.tracer,
         )
         rejected, degraded = self.scheduler.triage(
             self._queue, self.pool.free_count, self.config.scale, context
@@ -546,8 +622,11 @@ class FleetSimulator:
         self._rebalance(now, reproject)
         for job in reproject.values():
             projection = job.sim.fork()
+            buffer = job.tracer.sandbox()
+            projection.set_tracer(buffer)
             projection.run_to_completion()
             job.result = projection.result()
+            job.trace_buffer = buffer
             self._push(
                 job.finish_time(now),
                 _FINISH,
@@ -566,18 +645,49 @@ class FleetSimulator:
     def _admit(self, request: JobRequest, now: float) -> None:
         percent, tuned, degraded, schedule = self._resolve_percent(request)
         workers = self.pool.allocate(request.n_workers)
+        tracer = self.tracer
+        job_tracer = NULL_TRACER
+        if tracer.enabled:
+            pid = request.job_id + 1
+            tracer.process_name(
+                pid, f"job-{request.job_id} ({request.sync_policy})"
+            )
+            tracer.thread_name(pid, 0, "lifecycle")
+            tracer.thread_name(pid, 1, "training")
+            tracer.thread_name(pid, 2, "alloc")
+            tracer.instant(
+                f"admit job-{request.job_id}",
+                "admission",
+                now,
+                args={
+                    "workers": len(workers),
+                    "percent": percent,
+                    "tuned": tuned,
+                    "degraded": degraded,
+                },
+            )
+            job_tracer = tracer.scoped(pid, now)
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("jobs_admitted")
+            if degraded:
+                metrics.inc("jobs_degraded")
+            metrics.observe("queue_delay_s", now - request.arrival)
         if self.config.resim == "exact":
-            sim, result = self._begin_exact(
-                request, workers, now, percent, schedule
+            sim, result, buffer = self._begin_exact(
+                request, workers, now, percent, schedule, job_tracer
             )
         else:
-            sim, result = None, self._train(
-                request, workers, now, percent, schedule
+            sim, buffer = None, NULL_TRACER
+            result = self._train(
+                request, workers, now, percent, schedule, job_tracer
             )
         job = _RunningJob(
             request, workers, now, result,
             percent=percent, tuned=tuned, degraded=degraded, sim=sim,
         )
+        job.tracer = job_tracer
+        job.trace_buffer = buffer
         self._running[request.job_id] = job
         if job.asp_tail > 0.0 and job.bsp_span > 0.0:
             self._push(
@@ -616,12 +726,15 @@ class FleetSimulator:
         ):
             policy = self.store.lookup(JobClass.of(request))
             if policy is not None:
+                self.metrics.inc("policy_store_hits")
                 percent, tuned = policy.percent, True
                 if policy.fractions is not None:
                     schedule = (policy.protocols, policy.fractions)
-            elif self.config.fractions is not None:
-                schedule = (self.config.protocols, self.config.fractions)
-                percent = self.config.fractions[0] * 100.0
+            else:
+                self.metrics.inc("policy_store_misses")
+                if self.config.fractions is not None:
+                    schedule = (self.config.protocols, self.config.fractions)
+                    percent = self.config.fractions[0] * 100.0
         degraded = request.job_id in self._degraded
         if degraded:
             percent, tuned = self._degraded.pop(request.job_id), False
@@ -630,6 +743,14 @@ class FleetSimulator:
 
     def _reject(self, request: JobRequest, now: float) -> None:
         """Record an SLO rejection (the job never trains)."""
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"reject job-{request.job_id}",
+                "admission",
+                now,
+                args={"deadline": request.deadline},
+            )
+        self.metrics.inc("jobs_rejected")
         self._records.append(
             JobRecord(
                 job_id=request.job_id,
@@ -772,6 +893,15 @@ class FleetSimulator:
             return False
         job.note_allocation(now, cause)
         job.version += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                cause,
+                "preemption",
+                now,
+                pid=job.request.job_id + 1,
+                args={"workers": len(job.workers), "was": current},
+            )
+        self.metrics.inc(f"resize_{cause}")
         if resumed == "paused":
             contention = self._job_stragglers(
                 job.workers, job.start, active_after=now
@@ -788,8 +918,11 @@ class FleetSimulator:
                 reproject[job.request.job_id] = job
                 return True
             projection = job.sim.fork()
+            buffer = job.tracer.sandbox()
+            projection.set_tracer(buffer)
             projection.run_to_completion()
             job.result = projection.result()
+            job.trace_buffer = buffer
         self._push(
             job.finish_time(now),
             _FINISH,
@@ -801,6 +934,21 @@ class FleetSimulator:
         self.pool.release(job.workers)
         del self._running[job.request.job_id]
         result = job.result
+        tracer = self.tracer
+        if tracer.enabled:
+            # The last projection became the realized tail: its sandbox
+            # events are the job's events from the final pause onward.
+            tracer.absorb(job.trace_buffer)
+            self._emit_job_spans(job, now)
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("jobs_completed")
+            metrics.observe("jct_s", now - job.request.arrival)
+            metrics.observe(
+                "staleness_p95", float(result.staleness.get("p95", 0.0))
+            )
+            metrics.inc("overhead_paid_s", result.total_overhead)
+            metrics.inc("protocol_switches", result.switch_count)
         self._records.append(
             JobRecord(
                 job_id=job.request.job_id,
@@ -823,12 +971,69 @@ class FleetSimulator:
                 degraded=job.degraded,
                 outcome="completed",
                 allocations=tuple(job.allocations),
+                staleness=dict(result.staleness),
             )
         )
         if job.request.kind == "search-trial":
             self._finish_trial(job, now)
         elif job.tuned:
             self.store.note_recurrence(JobClass.of(job.request), now - job.start)
+
+    def _emit_job_spans(self, job: _RunningJob, now: float) -> None:
+        """Lifecycle spans of one completed job, emitted at completion
+        (queue wait, the job itself, its BSP/ASP phases, and — at job
+        detail — one span per allocation segment)."""
+        tracer = self.tracer
+        request = job.request
+        pid = request.job_id + 1
+        arrival = request.arrival
+        cat = "search" if request.kind == "search-trial" else "job"
+        result = job.result
+        tracer.span(
+            f"job-{request.job_id}",
+            cat,
+            job.start,
+            now - job.start,
+            pid=pid,
+            tid=0,
+            args={
+                "sync_policy": request.sync_policy,
+                "accuracy": result.reported_accuracy,
+                "diverged": result.diverged,
+                "preemptions": job.preemptions,
+                "restores": job.restores,
+                "tuned": job.tuned,
+                "degraded": job.degraded,
+            },
+        )
+        if job.start > arrival:
+            tracer.span(
+                "queued", "queue", arrival, job.start - arrival, pid=pid, tid=0
+            )
+        bsp_span = min(job.bsp_span, now - job.start)
+        if bsp_span > 0.0:
+            tracer.span("bsp-phase", "phase", job.start, bsp_span, pid=pid, tid=0)
+        tail_start = job.start + bsp_span
+        if now > tail_start:
+            tracer.span(
+                "async-tail", "phase", tail_start, now - tail_start, pid=pid, tid=0
+            )
+        if tracer.wants("job"):
+            for index, row in enumerate(job.allocations):
+                end = (
+                    job.allocations[index + 1]["time"]
+                    if index + 1 < len(job.allocations)
+                    else now
+                )
+                tracer.span(
+                    f"{row['workers']}w",
+                    "alloc",
+                    row["time"],
+                    end - row["time"],
+                    pid=pid,
+                    tid=2,
+                    args={"cause": row["cause"]},
+                )
 
     # ------------------------------------------------------------------
     # amortized tuning (Section VI-C at fleet scale)
@@ -866,7 +1071,19 @@ class FleetSimulator:
             )
         else:
             session = TimingSearchSession(search_config)
+        session.tracer = self.tracer
         self.store.begin_search(job_class)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "search-begin",
+                "search",
+                now,
+                args={
+                    "setup": job_class.setup_index,
+                    "n_workers": job_class.n_workers,
+                },
+            )
+        self.metrics.inc("searches_started")
         self._sessions[job_class] = session
         self._inject_trials(job_class, session, now)
 
@@ -924,7 +1141,8 @@ class FleetSimulator:
         accuracy = (
             0.0 if result.diverged else (result.reported_accuracy or 0.0)
         )
-        session.record(accuracy, now - job.start)
+        session.record(accuracy, now - job.start, now=now)
+        self.metrics.inc("search_trials_completed")
         if session.awaiting:
             return
         if session.done:
@@ -938,6 +1156,14 @@ class FleetSimulator:
                     job_class, session.result(), tuned_at=now
                 )
             self.store.install(policy)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "search-complete",
+                    "search",
+                    now,
+                    args={"percent": policy.percent},
+                )
+            self.metrics.inc("policies_installed")
         else:
             self._inject_trials(job_class, session, now)
 
@@ -951,6 +1177,7 @@ class FleetSimulator:
         now: float,
         percent: float | None = None,
         schedule: tuple | None = None,
+        tracer=NULL_TRACER,
     ) -> TrainingResult:
         """One full single-job simulation on the assigned workers.
 
@@ -969,6 +1196,7 @@ class FleetSimulator:
             stragglers=self._job_stragglers(workers, now),
             ambient_noise=self.config.ambient,
             overhead_time_scale=self.config.scale,
+            tracer=tracer,
         )
         return controller.run_job().result
 
@@ -979,7 +1207,8 @@ class FleetSimulator:
         now: float,
         percent: float,
         schedule: tuple | None = None,
-    ) -> tuple[ElasticTrainingRun, TrainingResult]:
+        tracer=NULL_TRACER,
+    ) -> tuple[ElasticTrainingRun, TrainingResult, object]:
         """Start a resumable run and project its unpreempted completion.
 
         The live run is paused at the ASP-tail boundary — the cached
@@ -987,6 +1216,11 @@ class FleetSimulator:
         the tail to the end for the initial finish-time projection.
         Jobs without an elastic tail (all-BSP, or divergence inside the
         BSP phase) complete inside the live run directly.
+
+        Returns ``(sim, projected_result, trace_buffer)``: the live run
+        traces through ``tracer`` directly, while the projection writes
+        into a sandbox buffer that becomes the job's events past the
+        pause instant if no allocation change supersedes it.
         """
         job, policies = self._training_inputs(request, percent, schedule)
         sim = ElasticTrainingRun(
@@ -996,12 +1230,15 @@ class FleetSimulator:
             stragglers=self._job_stragglers(workers, now),
             ambient_noise=self.config.ambient,
             overhead_time_scale=self.config.scale,
+            tracer=tracer,
         )
         if sim.run_to_tail() == "finished":
-            return sim, sim.result()
+            return sim, sim.result(), NULL_TRACER
         projection = sim.fork()
+        buffer = tracer.sandbox()
+        projection.set_tracer(buffer)
         projection.run_to_completion()
-        return sim, projection.result()
+        return sim, projection.result(), buffer
 
     def _training_inputs(
         self,
@@ -1098,7 +1335,10 @@ class FleetSimulator:
 
 
 def simulate_fleet(
-    config: FleetConfig, store: PolicyStore | None = None
+    config: FleetConfig,
+    store: PolicyStore | None = None,
+    tracer=None,
+    metrics=None,
 ) -> FleetSummary:
     """Run one fleet configuration end to end (one fleet cell).
 
@@ -1107,6 +1347,11 @@ def simulate_fleet(
     recurring-job setting), summarized into fleet telemetry.  ``store``
     warm-starts the run from a persisted
     :class:`~repro.fleet.policy_store.PolicyStore` (and is mutated
-    in-place, so the caller can persist it afterwards).
+    in-place, so the caller can persist it afterwards).  ``tracer`` /
+    ``metrics`` override the config-resolved observability sinks (use
+    :func:`repro.experiments.fleet.run_traced_fleet` to get the events
+    and metrics payload back alongside the summary).
     """
-    return FleetSimulator(config, store=store).run()
+    return FleetSimulator(
+        config, store=store, tracer=tracer, metrics=metrics
+    ).run()

@@ -73,6 +73,10 @@ class JobRecord:
     degraded: bool = False
     outcome: str = "completed"
     allocations: tuple[dict, ...] = ()
+    #: Staleness percentile summary of the job's training telemetry
+    #: (``{"mean", "p50", "p95", "max"}``); None for rejected jobs and
+    #: payloads cached before staleness surfaced in fleet records.
+    staleness: dict | None = None
 
     @property
     def jct(self) -> float:
@@ -149,6 +153,9 @@ class JobRecord:
             "degraded": self.degraded,
             "outcome": self.outcome,
             "allocations": [dict(row) for row in self.allocations],
+            "staleness": (
+                dict(self.staleness) if self.staleness is not None else None
+            ),
         }
 
     @classmethod
@@ -159,6 +166,8 @@ class JobRecord:
         payload["allocations"] = tuple(
             dict(row) for row in payload.get("allocations", ())
         )
+        if payload.get("staleness") is not None:
+            payload["staleness"] = dict(payload["staleness"])
         return cls(**payload)
 
 
@@ -202,6 +211,12 @@ class FleetSummary:
     n_deadline_jobs: int = 0
     slo_attainment: float | None = None
     tuning: tuple[dict, ...] | None = None
+    #: Fleet staleness aggregates over completed jobs carrying a
+    #: staleness summary: mean of the per-job p50/p95 percentiles and
+    #: the largest per-job max.  All zero when no job reported one.
+    staleness_p50: float = 0.0
+    staleness_p95: float = 0.0
+    staleness_max: float = 0.0
 
     def to_dict(self) -> dict:
         """Plain-python dict for JSON caching and the results artifact."""
@@ -233,6 +248,9 @@ class FleetSummary:
             "n_deadline_jobs": self.n_deadline_jobs,
             "slo_attainment": self.slo_attainment,
             "tuning": list(self.tuning) if self.tuning is not None else None,
+            "staleness_p50": self.staleness_p50,
+            "staleness_p95": self.staleness_p95,
+            "staleness_max": self.staleness_max,
         }
 
     @classmethod
@@ -294,6 +312,9 @@ def summarize_fleet(
         if record.deadline is not None and record.kind == "train"
     ]
     met = sum(1 for record in deadline_jobs if record.met_deadline)
+    staleness_rows = [
+        record.staleness for record in completed if record.staleness
+    ]
     return FleetSummary(
         scenario=scenario,
         scheduler=scheduler,
@@ -328,4 +349,19 @@ def summarize_fleet(
             met / len(deadline_jobs) if deadline_jobs else None
         ),
         tuning=tuning,
+        staleness_p50=(
+            sum(row.get("p50", 0.0) for row in staleness_rows)
+            / len(staleness_rows)
+            if staleness_rows
+            else 0.0
+        ),
+        staleness_p95=(
+            sum(row.get("p95", 0.0) for row in staleness_rows)
+            / len(staleness_rows)
+            if staleness_rows
+            else 0.0
+        ),
+        staleness_max=max(
+            (row.get("max", 0.0) for row in staleness_rows), default=0.0
+        ),
     )

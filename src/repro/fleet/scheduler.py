@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.fleet.policy_store import JobClass, PolicyStore
 from repro.fleet.workload import JobRequest, estimate_service_time
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
     "SchedulerContext",
@@ -65,6 +66,9 @@ class SchedulerContext:
     scale: float = 1.0
     store: PolicyStore | None = None
     preemptible: int = 0
+    #: Observability sink for decision rationale (never affects the
+    #: decision itself); the fleet passes its live tracer when on.
+    tracer: object = NULL_TRACER
 
 
 class SchedulerPolicy:
@@ -267,8 +271,16 @@ class SloAwareScheduler(SchedulerPolicy):
             # ``met_deadline`` symmetrically counts ``finish ==
             # deadline`` as met.
             slack = request.deadline - context.now
+            tracer = context.tracer
             if slack < 0.0 or predicted > slack:
                 rejected.append(request)
+                if tracer.enabled:
+                    tracer.instant(
+                        f"slo-reject job-{request.job_id}",
+                        "scheduler",
+                        context.now,
+                        args={"predicted": predicted, "slack": slack},
+                    )
                 continue
             if (
                 request.sync_policy == "sync-switch"
@@ -276,6 +288,13 @@ class SloAwareScheduler(SchedulerPolicy):
                 and not self._is_tuned(request, context)
             ):
                 degraded[request.job_id] = 100.0
+                if tracer.enabled:
+                    tracer.instant(
+                        f"slo-degrade job-{request.job_id}",
+                        "scheduler",
+                        context.now,
+                        args={"predicted": predicted, "slack": slack},
+                    )
         return rejected, degraded
 
     @staticmethod

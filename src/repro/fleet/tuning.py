@@ -42,6 +42,7 @@ from repro.core.search.binary_search import (
     validate_sequences,
 )
 from repro.errors import SearchError
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["ScheduleSearchSession", "TimingSearchSession"]
 
@@ -65,6 +66,9 @@ class TimingSearchSession:
         self._batch_fraction: float | None = None
         self._outstanding = 0
         self._batch_results: list[tuple[float, float]] = []
+        # Observability sink; the fleet installs its tracer so trial
+        # completions land on the timeline (never affects the search).
+        self.tracer = NULL_TRACER
 
     @property
     def done(self) -> bool:
@@ -102,18 +106,30 @@ class TimingSearchSession:
         self._batch_results = []
         return (self._batch_fraction,) * count
 
-    def record(self, accuracy: float, time: float) -> None:
+    def record(self, accuracy: float, time: float, now: float | None = None) -> None:
         """Report one finished trial of the current batch.
 
         ``accuracy`` is the converged accuracy (0.0 for diverged runs)
         and ``time`` the session's training time — in the fleet, its
         service time, so preemption stretches are charged to the
-        search cost like the paper charges full sessions.
+        search cost like the paper charges full sessions.  ``now`` is
+        an optional fleet timestamp used only for tracing.
         """
         if self._outstanding <= 0:
             raise SearchError("no outstanding trial to record")
         self._outstanding -= 1
         self._batch_results.append((float(accuracy), float(time)))
+        if now is not None and self.tracer.enabled:
+            self.tracer.instant(
+                "search-trial-done",
+                "search",
+                now,
+                args={
+                    "fraction": self._batch_fraction,
+                    "accuracy": float(accuracy),
+                    "awaiting": self._outstanding,
+                },
+            )
         if self._outstanding == 0:
             self._advance()
 
@@ -199,6 +215,7 @@ class ScheduleSearchSession:
         self._batch_candidate: float | None = None
         self._outstanding = 0
         self._batch_results: list[tuple[float, float]] = []
+        self.tracer = NULL_TRACER
         if self._phase == "candidates":
             self._begin_sequence(0)
 
@@ -250,12 +267,26 @@ class ScheduleSearchSession:
         self._batch_results = []
         return (self._batch_vector,) * count
 
-    def record(self, accuracy: float, time: float) -> None:
-        """Report one finished trial of the current batch."""
+    def record(self, accuracy: float, time: float, now: float | None = None) -> None:
+        """Report one finished trial of the current batch.
+
+        ``now`` is an optional fleet timestamp used only for tracing.
+        """
         if self._outstanding <= 0:
             raise SearchError("no outstanding trial to record")
         self._outstanding -= 1
         self._batch_results.append((float(accuracy), float(time)))
+        if now is not None and self.tracer.enabled:
+            self.tracer.instant(
+                "search-trial-done",
+                "search",
+                now,
+                args={
+                    "protocols": "+".join(self._batch_protocols),
+                    "accuracy": float(accuracy),
+                    "awaiting": self._outstanding,
+                },
+            )
         if self._outstanding == 0:
             self._advance()
 

@@ -1,0 +1,97 @@
+"""Chrome trace-event export, validation and the metrics dump.
+
+The writer emits the JSON *array* flavor of the trace-event format —
+one event per line inside ``[...]`` — which both Perfetto and
+``chrome://tracing`` load directly, while staying diffable and
+greppable like JSONL.  The validator enforces the subset of the
+format we emit, so CI can schema-check traces without third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+# Event phases this subsystem emits: complete spans, instants,
+# counters, and metadata (process/thread names).
+_KNOWN_PHASES = {"X", "i", "C", "M"}
+
+_REQUIRED_KEYS = {"name", "ph", "pid", "tid"}
+
+
+def write_chrome_trace(events: list[dict], path: str | Path) -> Path:
+    """Write events as a JSON array, one event per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("[\n")
+        for index, event in enumerate(events):
+            suffix = ",\n" if index < len(events) - 1 else "\n"
+            handle.write(json.dumps(event, sort_keys=True) + suffix)
+        handle.write("]\n")
+    return path
+
+
+def load_chrome_trace(path: str | Path) -> list[dict]:
+    with Path(path).open("r", encoding="utf-8") as handle:
+        events = json.load(handle)
+    if not isinstance(events, list):
+        raise ValueError("trace file must contain a JSON array of events")
+    return events
+
+
+def validate_chrome_trace(events: list[dict]) -> list[str]:
+    """Schema-check trace events; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = _REQUIRED_KEYS - event.keys()
+        if missing:
+            problems.append(f"{where}: missing keys {sorted(missing)}")
+            continue
+        phase = event["ph"]
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event["name"], str) or not event["name"]:
+            problems.append(f"{where}: name must be a non-empty string")
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int):
+                problems.append(f"{where}: {key} must be an integer")
+        if phase != "M":
+            if "cat" not in event:
+                problems.append(f"{where}: non-metadata event missing 'cat'")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: ts must be a non-negative number")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs non-negative 'dur'")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant event needs scope 's' in t/p/g")
+        if phase == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: counter event needs an 'args' mapping")
+    return problems
+
+
+def trace_categories(events: list[dict]) -> dict[str, int]:
+    """Event counts per category (metadata events excluded)."""
+    counts: dict[str, int] = {}
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        cat = event.get("cat", "?")
+        counts[cat] = counts.get(cat, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def write_metrics_dump(payload: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

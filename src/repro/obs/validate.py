@@ -1,0 +1,62 @@
+"""Validate a Chrome trace-event file from the command line.
+
+Used by the CI trace-smoke job:
+
+    python -m repro.obs.validate trace.json [--min-categories N]
+
+Exits non-zero when the file violates the trace-event schema or
+contains fewer distinct span/event categories than required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import load_chrome_trace, trace_categories, validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Schema-check a Chrome trace-event JSON file.",
+    )
+    parser.add_argument("path", help="trace file to validate")
+    parser.add_argument(
+        "--min-categories",
+        type=int,
+        default=0,
+        help="require at least this many distinct event categories",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_chrome_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems = validate_chrome_trace(events)
+    if problems:
+        for problem in problems[:20]:
+            print(f"error: {problem}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"error: ... and {len(problems) - 20} more", file=sys.stderr)
+        return 1
+
+    categories = trace_categories(events)
+    print(f"{args.path}: {len(events)} events, {len(categories)} categories")
+    for cat, count in categories.items():
+        print(f"  {cat}: {count}")
+    if len(categories) < args.min_categories:
+        print(
+            f"error: expected >= {args.min_categories} categories, "
+            f"found {len(categories)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

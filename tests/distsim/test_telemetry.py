@@ -27,6 +27,7 @@ class TestTelemetry:
     def test_empty_staleness_summary(self):
         assert TrainingTelemetry().staleness_summary() == {
             "mean": 0.0,
+            "p50": 0.0,
             "p95": 0.0,
             "max": 0.0,
         }

@@ -23,6 +23,7 @@ def test_artifact_registry_covers_every_paper_artifact():
         "fleet",  # beyond the paper: the multi-tenant scenario grid
         "fleet-resim",  # beyond the paper: stretch-vs-exact tail deltas
         "fleet-search",  # beyond the paper: amortized in-fleet tuning
+        "fleet-trace",  # beyond the paper: traced-run metrics timeline
     }
     assert set(ARTIFACTS) == expected
 

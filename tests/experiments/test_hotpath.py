@@ -87,3 +87,36 @@ def test_speedup_payload_ratios():
 def test_render_report_mentions_every_row():
     text = render_hotpath_report(payload())
     assert "asp" in text and "fig5b" in text and "calibration" in text
+
+
+def test_tracer_off_row_exists_and_runs_via_trainer():
+    assert "asp-tracer-off" in BENCH_ROWS
+    result = bench_engine(
+        "asp", steps=24, repeats=1, batch_size=16, via_trainer=True
+    )
+    assert result["steps"] == 24
+    assert result["steps_per_sec"] > 0
+
+
+def test_check_regression_aliases_tracer_off_to_kernel_baseline():
+    # A baseline payload that predates the tracer-off row still bounds
+    # it: the row is compared against the asp-kernel baseline number.
+    baseline = payload()
+    baseline["engines"]["asp-kernel"] = dict(
+        baseline["engines"]["asp"], batch_size=16
+    )
+    current = payload()
+    current["engines"]["asp-tracer-off"] = {
+        "steps": 100,
+        "batch_size": 16,
+        "steps_per_sec": 100.0,  # far below the 1000.0 kernel baseline
+        "elapsed_s": 1.0,
+    }
+    messages = check_regression(current, baseline, tolerance=0.25)
+    assert any(
+        "asp-tracer-off" in message and "asp-kernel" in message
+        for message in messages
+    )
+    # Within tolerance: no message for the aliased row.
+    current["engines"]["asp-tracer-off"]["steps_per_sec"] = 990.0
+    assert check_regression(current, baseline, tolerance=0.25) == []

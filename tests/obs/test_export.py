@@ -1,0 +1,63 @@
+"""Exporter tests: Chrome-trace writing, loading, schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    load_chrome_trace,
+    trace_categories,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_dump,
+)
+
+
+@pytest.fixture
+def events():
+    tracer = Tracer("job")
+    tracer.process_name(0, "fleet")
+    tracer.span("seg", "segment", 0.0, 1.0, pid=1, tid=1)
+    tracer.instant("admit", "admission", 0.5)
+    tracer.counter("gauges", 1.0, {"queue": 2.0})
+    return tracer.events
+
+
+def test_round_trip(tmp_path, events):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(events, path)
+    loaded = load_chrome_trace(path)
+    assert loaded == json.loads(path.read_text(encoding="utf-8"))
+    assert len(loaded) == len(events)
+    # one event per line keeps diffs reviewable and Perfetto happy
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    assert lines[0] == "["
+    assert lines[-1] == "]"
+
+
+def test_valid_events_pass_schema(events):
+    assert validate_chrome_trace(events) == []
+
+
+def test_schema_catches_problems(events):
+    broken = [dict(event) for event in events]
+    del broken[1]["cat"]
+    broken[2]["ts"] = -1.0
+    broken.append({"name": "x", "ph": "Z", "pid": 0, "tid": 0})
+    problems = validate_chrome_trace(broken)
+    assert len(problems) >= 3
+
+
+def test_trace_categories_excludes_metadata(events):
+    categories = trace_categories(events)
+    assert "segment" in categories and "admission" in categories
+    assert all(not name.startswith("process") for name in categories)
+    assert sum(categories.values()) == 3  # the M event is not counted
+
+
+def test_write_metrics_dump(tmp_path):
+    path = tmp_path / "metrics.json"
+    write_metrics_dump({"interval": 60.0, "snapshots": []}, path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["interval"] == 60.0

@@ -178,7 +178,7 @@ def test_fleet_tune_command_tiny(capsys, tmp_path, monkeypatch):
         ),
     )
     out_path = tmp_path / "fleet_tuning_summary.json"
-    assert main(["fleet", "--trace", str(trace_path), "--tune",
+    assert main(["fleet", "--workload-trace", str(trace_path), "--tune",
                  "--seeds", "1", "--scheduler", "fifo",
                  "--scale", "0.008", "--out", str(out_path)]) == 0
     out = capsys.readouterr().out
