@@ -36,16 +36,21 @@ from repro.experiments import (
     prefetch_union,
     render_report,
 )
+from repro.distsim.cluster import WorkerTier
 from repro.experiments.fleet import (
     DEFAULT_FLEET_SCALE,
     DEFAULT_TUNING_SEEDS,
     fleet_grid,
     fleet_report,
+    fleet_trace_scale_report,
     fleet_tuning_report,
+    run_trace_scale,
     run_traced_fleet,
+    trace_scale_payload,
     tuning_grid,
     tuning_summary_payload,
     write_fleet_summary,
+    write_fleet_trace_scale,
     write_tuning_summary,
 )
 from repro.experiments.hotpath import (
@@ -63,6 +68,7 @@ from repro.fleet import (
     RESIM_MODES,
     SCHEDULERS,
     SYNC_POLICIES,
+    TRACE_SCENARIOS,
     FleetConfig,
     FleetSimulator,
     PolicyStore,
@@ -174,7 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet", help="serve a multi-job stream on a shared worker pool"
     )
     fleet.add_argument(
-        "--scenario", default="rush", choices=sorted(FLEET_SCENARIOS)
+        "--scenario",
+        default="rush",
+        choices=sorted(FLEET_SCENARIOS) + sorted(TRACE_SCENARIOS),
+        help="workload: a Poisson fleet scenario, or a datacenter trace "
+        "scenario (diurnal arrivals, tenant tiers, sharded pool)",
     )
     fleet.add_argument(
         "--jobs",
@@ -287,6 +297,30 @@ def build_parser() -> argparse.ArgumentParser:
         "the run; runs a single stream, so requires one --scheduler "
         "and either --tune (tune that stream in place) or one --policy",
     )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="independent pool shards for a trace scenario (default: "
+        "the scenario's shard count); requires a trace --scenario",
+    )
+    fleet.add_argument(
+        "--tiers",
+        default=None,
+        metavar="SPEC",
+        help="heterogeneous worker classes as comma-separated "
+        "name:count:speed:bandwidth[:latency] entries (e.g. "
+        "fast:32:1.0:1.0,slow:32:1.35:1.6), or 'none' for a uniform "
+        "pool; default: trace scenarios get the built-in fast/slow "
+        "split, Poisson scenarios stay uniform",
+    )
+    fleet.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the fleet invariant checker at every event (pool "
+        "conservation, clock monotonicity, queue/running disjointness, "
+        "preemption floor); simulation-neutral but slower",
+    )
 
     bench = sub.add_parser(
         "bench", help="hot-path steps/sec benchmark (per engine + fig5b cell)"
@@ -347,6 +381,34 @@ def _parse_protocols(value: str) -> tuple[str, ...]:
 
 def _parse_fractions(value: str) -> tuple[float, ...]:
     return tuple(float(part) for part in value.split(",") if part.strip())
+
+
+def _parse_tiers(value: str) -> tuple[WorkerTier, ...]:
+    """``--tiers`` spec: ``name:count:speed:bandwidth[:latency],...``.
+
+    ``'none'`` forces a uniform pool (overriding a trace scenario's
+    built-in fast/slow default).
+    """
+    if value.strip().lower() == "none":
+        return ()
+    tiers = []
+    for part in value.split(","):
+        fields = [field.strip() for field in part.strip().split(":")]
+        if len(fields) not in (4, 5):
+            raise ValueError(
+                f"tier {part.strip()!r} must be "
+                "name:count:speed:bandwidth[:latency]"
+            )
+        tiers.append(
+            WorkerTier(
+                name=fields[0],
+                count=int(fields[1]),
+                speed_factor=float(fields[2]),
+                bandwidth_factor=float(fields[3]),
+                extra_latency=float(fields[4]) if len(fields) == 5 else 0.0,
+            )
+        )
+    return tuple(tiers)
 
 
 def _cmd_run(args) -> int:
@@ -522,6 +584,49 @@ def _cmd_fleet(args) -> int:
             "combined with --tune (which searches for it)"
         )
         return 2
+    tiers = None
+    if args.tiers is not None:
+        try:
+            tiers = _parse_tiers(args.tiers)
+        except (ValueError, ConfigurationError) as exc:
+            _LOG.error("error: bad --tiers: %s", exc)
+            return 2
+    if (args.tiers is not None or args.validate) and (
+        args.tune or args.trace or args.policy_store
+    ):
+        _LOG.error(
+            "error: --tiers/--validate apply to the fleet grid and the "
+            "trace scenarios; they do not combine with --tune, --trace "
+            "or --policy-store"
+        )
+        return 2
+    trace_scale = (
+        args.workload_trace is None and args.scenario in TRACE_SCENARIOS
+    )
+    if args.shards is not None and not trace_scale:
+        _LOG.error(
+            "error: --shards partitions a trace scenario's pool; pick a "
+            "trace --scenario (%s)",
+            ", ".join(sorted(TRACE_SCENARIOS)),
+        )
+        return 2
+    if trace_scale:
+        for flag, given in (
+            ("--tune", args.tune),
+            ("--trace", args.trace is not None),
+            ("--policy-store", args.policy_store is not None),
+            ("--protocols", protocols is not None),
+        ):
+            if given:
+                _LOG.error(
+                    "error: %s runs a single in-process stream and "
+                    "cannot be combined with the sharded trace "
+                    "scenario %r",
+                    flag,
+                    args.scenario,
+                )
+                return 2
+        return _cmd_fleet_trace_scale(args, tiers)
     trace = load_trace(args.workload_trace) if args.workload_trace else None
     # A trace replaces the scenario stream entirely; label the run (and
     # its cache keys) accordingly instead of with the unused scenario.
@@ -554,12 +659,65 @@ def _cmd_fleet(args) -> int:
         resim=args.resim,
         protocols=protocols,
         fractions=fractions,
+        tiers=tiers,
+        validate=args.validate,
     )
     print(render_report(fleet_report(grid, scenario)))
     target = write_fleet_summary(
         grid, scenario, args.scale, args.seed, path=args.out
     )
     _LOG.info("\nfleet summary written to %s", target)
+    return 0
+
+
+def _cmd_fleet_trace_scale(args, tiers) -> int:
+    """The trace-scenario path: sharded heterogeneous pool, merged summary.
+
+    Generates the datacenter trace once, serves each pool shard as its
+    own cached fleet cell (``--procs`` worker processes) and merges the
+    shard summaries — bit-identical at any ``--procs`` count.
+    """
+    if args.slo:
+        scheduler = "slo"
+    elif args.scheduler == "all":
+        scheduler = "slo"
+        _LOG.info("trace scenario narrows --scheduler all to slo")
+    else:
+        scheduler = args.scheduler
+    if args.policy == "all":
+        policy = "sync-switch"
+        _LOG.info("trace scenario narrows --policy all to sync-switch")
+    else:
+        policy = args.policy
+    try:
+        summary, shard_rows = run_trace_scale(
+            scenario=args.scenario,
+            scheduler=scheduler,
+            sync_policy=policy,
+            seed=args.seed,
+            scale=args.scale,
+            n_jobs=args.jobs,
+            shards=args.shards,
+            tiers=tiers,
+            jobs=args.procs,
+            resim=args.resim,
+            validate=args.validate,
+        )
+    except ConfigurationError as exc:
+        _LOG.error("error: %s", exc)
+        return 2
+    payload = trace_scale_payload(
+        summary,
+        shard_rows,
+        args.scenario,
+        scheduler,
+        policy,
+        args.scale,
+        args.seed,
+    )
+    print(render_report(fleet_trace_scale_report(payload)))
+    target = write_fleet_trace_scale(payload, path=args.out)
+    _LOG.info("\nfleet trace-scale summary written to %s", target)
     return 0
 
 
@@ -834,6 +992,14 @@ def _cmd_list(_args) -> int:
         print(
             f"  {name}: {scenario.description} "
             f"(pool {scenario.pool_size}, {scenario.n_jobs} jobs)"
+        )
+    print("trace scenarios:")
+    for name in sorted(TRACE_SCENARIOS):
+        scenario = TRACE_SCENARIOS[name]
+        print(
+            f"  {name}: {scenario.description} "
+            f"(pool {scenario.pool_size} in {scenario.shards} shards, "
+            f"{scenario.n_jobs} jobs)"
         )
     return 0
 

@@ -58,10 +58,16 @@ class SequentialActuator(_ActuatorBase):
     """Contacts nodes one at a time (the naive baseline of Table III)."""
 
     time_scale: float = 1.0
+    #: Link-quality multiplier on every provisioning cost (see
+    #: :class:`~repro.distsim.overheads.ProvisioningModel`); the fleet
+    #: sets it to the worst tier bandwidth among a job's workers.
+    bandwidth_factor: float = 1.0
 
     def __post_init__(self):
         self.provisioning = ProvisioningModel(
-            parallel=False, time_scale=self.time_scale
+            parallel=False,
+            time_scale=self.time_scale,
+            bandwidth_factor=self.bandwidth_factor,
         )
 
 
@@ -70,8 +76,12 @@ class ParallelActuator(_ActuatorBase):
     """Propagates configurations concurrently (Sync-Switch's choice)."""
 
     time_scale: float = 1.0
+    #: See :class:`SequentialActuator.bandwidth_factor`.
+    bandwidth_factor: float = 1.0
 
     def __post_init__(self):
         self.provisioning = ProvisioningModel(
-            parallel=True, time_scale=self.time_scale
+            parallel=True,
+            time_scale=self.time_scale,
+            bandwidth_factor=self.bandwidth_factor,
         )

@@ -67,6 +67,9 @@ class SyncSwitchController:
     parallel_actuator: bool = True
     profiler_window: int = 5
     overhead_time_scale: float = 1.0
+    #: Link-quality multiplier on provisioning costs (worst tier
+    #: bandwidth among the job's workers in heterogeneous fleets).
+    overhead_bandwidth: float = 1.0
     tracer: object | None = None
     _interventions: list[dict] = field(default_factory=list)
 
@@ -75,9 +78,15 @@ class SyncSwitchController:
             self.tracer = NULL_TRACER
         self.cluster = Cluster(self.cluster_spec)
         self.actuator = (
-            ParallelActuator(time_scale=self.overhead_time_scale)
+            ParallelActuator(
+                time_scale=self.overhead_time_scale,
+                bandwidth_factor=self.overhead_bandwidth,
+            )
             if self.parallel_actuator
-            else SequentialActuator(time_scale=self.overhead_time_scale)
+            else SequentialActuator(
+                time_scale=self.overhead_time_scale,
+                bandwidth_factor=self.overhead_bandwidth,
+            )
         )
         self.trainer = DistributedTrainer(
             self.job,

@@ -84,6 +84,7 @@ class ElasticTrainingRun:
         ambient_noise: bool = True,
         parallel_actuator: bool = True,
         overhead_time_scale: float = 1.0,
+        overhead_bandwidth: float = 1.0,
         tracer=None,
     ):
         if policies.straggler is not None and policies.straggler.reacts_online():
@@ -96,9 +97,15 @@ class ElasticTrainingRun:
         self.policies = policies
         self.cluster = Cluster(cluster_spec)
         self.actuator = (
-            ParallelActuator(time_scale=overhead_time_scale)
+            ParallelActuator(
+                time_scale=overhead_time_scale,
+                bandwidth_factor=overhead_bandwidth,
+            )
             if parallel_actuator
-            else SequentialActuator(time_scale=overhead_time_scale)
+            else SequentialActuator(
+                time_scale=overhead_time_scale,
+                bandwidth_factor=overhead_bandwidth,
+            )
         )
         self.trainer = DistributedTrainer(
             job,

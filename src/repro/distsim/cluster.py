@@ -12,7 +12,83 @@ from dataclasses import dataclass, field
 
 from repro.errors import ClusterError, ConfigurationError
 
-__all__ = ["ClusterSpec", "Cluster"]
+__all__ = ["ClusterSpec", "Cluster", "WorkerTier", "default_worker_tiers"]
+
+
+@dataclass(frozen=True)
+class WorkerTier:
+    """One homogeneous slice of a heterogeneous worker pool.
+
+    Datacenter pools mix hardware generations and placement domains
+    (the fast/slow, cloud-vs-edge mixes of QSync and ACE-Sync):
+
+    * ``speed_factor`` multiplies per-step compute time — realized as a
+      permanent straggler slowdown on the tier's workers, so the
+      engine's existing straggler handling (BSP barriers bound by the
+      slowest worker, ASP progress per worker) prices it correctly;
+    * ``bandwidth_factor`` multiplies provisioning costs (init, switch,
+      elastic resize push configs and checkpoints over the tier's
+      links) via :class:`~repro.distsim.overheads.ProvisioningModel`;
+    * ``extra_latency`` adds a per-step communication delay (edge
+      links), also carried by the straggler event.
+
+    ``speed_factor`` 1.0 / ``bandwidth_factor`` 1.0 is the calibrated
+    cloud baseline; factors are slowdowns, never speedups, so the
+    calibration stays an upper bound on per-worker performance.
+    """
+
+    name: str
+    count: int
+    speed_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    extra_latency: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("tier name must be non-empty")
+        if self.count <= 0:
+            raise ConfigurationError("tier count must be positive")
+        if self.speed_factor < 1.0:
+            raise ConfigurationError("speed_factor must be >= 1")
+        if self.bandwidth_factor < 1.0:
+            raise ConfigurationError("bandwidth_factor must be >= 1")
+        if self.extra_latency < 0.0:
+            raise ConfigurationError("extra_latency must be non-negative")
+
+    def to_dict(self) -> dict:
+        """Plain-python dict for cache keys and artifacts."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "speed_factor": self.speed_factor,
+            "bandwidth_factor": self.bandwidth_factor,
+            "extra_latency": self.extra_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkerTier":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+def default_worker_tiers(pool_size: int) -> tuple[WorkerTier, ...]:
+    """Canonical heterogeneous split for trace-scale pools.
+
+    Half the pool is the calibrated cloud baseline, half an edge-class
+    tier that steps ~1.35x slower and pays ~1.6x for provisioning
+    pushes — in the regime where protocol choice matters per tier
+    without drowning the pool in stragglers.
+    """
+    if pool_size <= 0:
+        raise ConfigurationError("pool size must be positive")
+    fast = pool_size - pool_size // 2
+    slow = pool_size // 2
+    tiers = [WorkerTier("fast", fast)]
+    if slow > 0:
+        tiers.append(
+            WorkerTier("slow", slow, speed_factor=1.35, bandwidth_factor=1.6)
+        )
+    return tuple(tiers)
 
 
 @dataclass(frozen=True)

@@ -36,10 +36,17 @@ class ProvisioningModel:
     harness sets it to its step-scale so that overhead *ratios*
     (switch time vs training time — the paper's ~1.7%) are preserved
     in scaled-down runs.  Table III itself is produced at scale 1.
+
+    ``bandwidth_factor`` models the node's link quality relative to
+    the paper's K80 cloud VMs: every provisioning action pushes jobs,
+    configs and checkpoints over the network, so an edge-class worker
+    on a thinner link pays proportionally more for init, switch and
+    elastic resize.  1.0 (the default) is the calibrated cloud link.
     """
 
     parallel: bool = True
     time_scale: float = 1.0
+    bandwidth_factor: float = 1.0
     # Sequential costs: affine in n (fit to Table III).
     seq_init_base: float = 46.0
     seq_init_per_worker: float = 13.9
@@ -53,6 +60,10 @@ class ProvisioningModel:
     # Elastic policy reconfigurations are partial switches.
     resize_fraction: float = 0.5
 
+    def __post_init__(self):
+        if self.bandwidth_factor <= 0.0:
+            raise ConfigurationError("bandwidth_factor must be positive")
+
     def init_time(self, n_workers: int) -> float:
         """Seconds to bring up a fresh training cluster."""
         self._validate(n_workers)
@@ -62,7 +73,7 @@ class ProvisioningModel:
             )
         else:
             seconds = self.seq_init_base + self.seq_init_per_worker * n_workers
-        return seconds * self.time_scale
+        return seconds * self.time_scale * self.bandwidth_factor
 
     def switch_time(self, n_workers: int) -> float:
         """Seconds to checkpoint, reconfigure and restart all tasks."""
@@ -76,7 +87,7 @@ class ProvisioningModel:
             seconds = (
                 self.seq_switch_base + self.seq_switch_per_worker * n_workers
             )
-        return seconds * self.time_scale
+        return seconds * self.time_scale * self.bandwidth_factor
 
     def evict_time(self, n_workers: int) -> float:
         """Seconds to drop a worker and rebalance (elastic policy)."""

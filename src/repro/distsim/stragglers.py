@@ -26,9 +26,16 @@ __all__ = [
     "StragglerEvent",
     "StragglerSchedule",
     "ambient_contention",
+    "tier_slowdown",
     "transient_scenario",
     "DEFAULT_OCCURRENCE_DURATION",
+    "PERMANENT_DURATION",
 ]
+
+#: Effectively-infinite duration for hardware-tier slowdowns: a tier's
+#: speed deficit never clears, but a finite sentinel keeps the
+#: schedule's numpy window arithmetic free of actual infinities.
+PERMANENT_DURATION = 1e15
 
 #: Paper assumption: a transient slowdown lasts at most about the time
 #: needed to provision a replacement cloud server (~100 seconds).
@@ -256,6 +263,28 @@ def ambient_contention(
             )
             time += duration + float(rng.exponential(mean_interval))
     return schedule
+
+
+def tier_slowdown(
+    worker: int,
+    slow_factor: float = 1.0,
+    extra_latency: float = 0.0,
+) -> StragglerEvent:
+    """Permanent hardware slowdown of one worker (heterogeneous tiers).
+
+    A slow hardware tier is a straggler that never recovers: encoding
+    it as an ordinary (very long) :class:`StragglerEvent` lets the
+    fleet's per-job slicing, resume-time re-slicing and the engine's
+    straggler pricing handle hardware speed exactly like transient
+    contention — the two compose by schedule merge.
+    """
+    return StragglerEvent(
+        worker=worker,
+        start=0.0,
+        duration=PERMANENT_DURATION,
+        slow_factor=slow_factor,
+        extra_latency=extra_latency,
+    )
 
 
 def transient_scenario(

@@ -92,6 +92,15 @@ def fleet_trace_artifact(runner):
     return _fleet_trace_artifact(runner)
 
 
+def fleet_trace_scale_artifact(runner):
+    """The sharded datacenter-trace run (lazy import, see above)."""
+    from repro.experiments.fleet import (
+        fleet_trace_scale_artifact as _fleet_trace_scale_artifact,
+    )
+
+    return _fleet_trace_scale_artifact(runner)
+
+
 #: Registry used by the CLI and the benchmark suite.
 ARTIFACTS = {
     "fig2": figure_2,
@@ -118,6 +127,7 @@ ARTIFACTS = {
     "fleet-resim": fleet_resim_artifact,
     "fleet-search": fleet_tuning_artifact,
     "fleet-trace": fleet_trace_artifact,
+    "fleet-trace-scale": fleet_trace_scale_artifact,
 }
 
 __all__ = [
@@ -134,6 +144,7 @@ __all__ = [
     "fleet_artifact",
     "fleet_resim_artifact",
     "fleet_trace_artifact",
+    "fleet_trace_scale_artifact",
     "fleet_tuning_artifact",
     "prefetch_union",
     "resolve_jobs",

@@ -35,18 +35,23 @@ from repro.experiments.executor import (
     disk_store,
     resolve_cache_dir,
 )
-from repro.errors import FleetError
+from repro.distsim.cluster import WorkerTier, default_worker_tiers
+from repro.errors import ConfigurationError, FleetError
 from repro.experiments.reporting import Report
 from repro.experiments.runner import CollectionComplete, ExperimentRunner
 from repro.fleet import (
     FLEET_SCENARIOS,
     SCHEDULERS,
     SYNC_POLICIES,
+    TRACE_SCENARIOS,
     FleetConfig,
     FleetSimulator,
     FleetSummary,
     JobRequest,
+    assign_shards,
+    merge_fleet_summaries,
     simulate_fleet,
+    trace_stream,
 )
 from repro.obs import trace_categories
 
@@ -56,7 +61,10 @@ __all__ = [
     "DEFAULT_TRACE_CELL",
     "DEFAULT_TUNING_SCENARIOS",
     "DEFAULT_TUNING_SEEDS",
+    "DEFAULT_TRACE_SCALE_JOBS",
+    "DEFAULT_TRACE_SCALE_SHARDS",
     "FleetRunRequest",
+    "FleetShardRequest",
     "TracedFleetRun",
     "confidence_interval95",
     "fleet_artifact",
@@ -66,14 +74,20 @@ __all__ = [
     "fleet_resim_report",
     "fleet_trace_artifact",
     "fleet_trace_report",
+    "fleet_trace_scale_artifact",
+    "fleet_trace_scale_report",
     "fleet_tuning_artifact",
     "fleet_tuning_report",
     "resim_delta_payload",
+    "run_trace_scale",
     "run_traced_fleet",
+    "shard_worker_tiers",
+    "trace_scale_payload",
     "tuning_grid",
     "tuning_summary_payload",
     "write_fleet_summary",
     "write_fleet_trace_metrics",
+    "write_fleet_trace_scale",
     "write_resim_delta",
     "write_tuning_summary",
 ]
@@ -129,6 +143,19 @@ DEFAULT_TRACE_METRICS_PATH = (
 #: ``report all`` affordable and the two surfaces' numbers identical.
 DEFAULT_FLEET_SCALE = 0.008
 
+#: Stream length and shard count of the ``fleet-trace-scale`` artifact:
+#: long enough for the diurnal cycles and the heavy tail to show, small
+#: enough to refresh in about a minute per idle core.
+DEFAULT_TRACE_SCALE_JOBS = 600
+DEFAULT_TRACE_SCALE_SHARDS = 4
+
+#: Default trace-scale artifact location.
+DEFAULT_TRACE_SCALE_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "results"
+    / "fleet_trace_scale.json"
+)
+
 
 @dataclass(frozen=True)
 class FleetRunRequest:
@@ -157,36 +184,44 @@ class FleetRunRequest:
     fractions: tuple[float, ...] | None = None
     trace_detail: str | None = None
     metrics_interval: float | None = None
+    #: Heterogeneous worker tiers (see
+    #: :class:`~repro.fleet.fleet_sim.FleetConfig`); keyed only when
+    #: set, so pre-existing cache entries keep their identities.
+    tiers: tuple[WorkerTier, ...] | None = None
+    #: Invariant checking in the worker (never affects the summary, so
+    #: it is not part of the cache key).
+    validate: bool = False
 
     def key(self, scale: float) -> str:
         """Cache key of this cell at ``scale`` (the dedup identity)."""
-        return digest_key(
-            {
-                "kind": "fleet",
-                "scenario": self.scenario,
-                "scheduler": self.scheduler,
-                "sync_policy": self.sync_policy,
-                "seed": self.seed,
-                "n_jobs": self.n_jobs,
-                "scale": scale,
-                "trace": (
-                    [request.to_dict() for request in self.trace]
-                    if self.trace is not None
-                    else None
-                ),
-                "tune": self.tune,
-                "tune_runs": self.tune_runs,
-                "resim": self.resim,
-                "protocols": (
-                    None if self.protocols is None else list(self.protocols)
-                ),
-                "fractions": (
-                    None if self.fractions is None else list(self.fractions)
-                ),
-                "trace_detail": self.trace_detail,
-                "metrics_interval": self.metrics_interval,
-            }
-        )
+        payload = {
+            "kind": "fleet",
+            "scenario": self.scenario,
+            "scheduler": self.scheduler,
+            "sync_policy": self.sync_policy,
+            "seed": self.seed,
+            "n_jobs": self.n_jobs,
+            "scale": scale,
+            "trace": (
+                [request.to_dict() for request in self.trace]
+                if self.trace is not None
+                else None
+            ),
+            "tune": self.tune,
+            "tune_runs": self.tune_runs,
+            "resim": self.resim,
+            "protocols": (
+                None if self.protocols is None else list(self.protocols)
+            ),
+            "fractions": (
+                None if self.fractions is None else list(self.fractions)
+            ),
+            "trace_detail": self.trace_detail,
+            "metrics_interval": self.metrics_interval,
+        }
+        if self.tiers is not None:
+            payload["tiers"] = [tier.to_dict() for tier in self.tiers]
+        return digest_key(payload)
 
     def config(self, scale: float) -> FleetConfig:
         """The simulator configuration for this cell."""
@@ -205,6 +240,8 @@ class FleetRunRequest:
             fractions=self.fractions,
             trace_detail=self.trace_detail,
             metrics_interval=self.metrics_interval,
+            tiers=self.tiers,
+            validate=self.validate,
         )
 
 
@@ -233,6 +270,8 @@ def fleet_grid(
     resim: str = "exact",
     protocols: tuple[str, ...] | None = None,
     fractions: tuple[float, ...] | None = None,
+    tiers: tuple[WorkerTier, ...] | None = None,
+    validate: bool = False,
 ) -> dict[tuple[str, str], FleetSummary]:
     """Simulate a scheduler x sync-policy grid for one scenario.
 
@@ -242,7 +281,8 @@ def fleet_grid(
     the figure/table training grids.  ``resim`` picks the preempted-tail
     timeline model (see :class:`~repro.fleet.fleet_sim.FleetConfig`);
     ``protocols``/``fractions`` pin a fixed N-segment schedule for the
-    grid's Sync-Switch cells.
+    grid's Sync-Switch cells; ``tiers`` makes every cell's pool
+    heterogeneous.
     """
     schedulers = schedulers or tuple(sorted(SCHEDULERS))
     policies = policies or SYNC_POLICIES
@@ -257,6 +297,8 @@ def fleet_grid(
             resim=resim,
             protocols=protocols,
             fractions=fractions,
+            tiers=tiers,
+            validate=validate,
         )
         for scheduler in schedulers
         for policy in policies
@@ -273,6 +315,344 @@ def fleet_grid(
         (request.scheduler, request.sync_policy): results[request.key(scale)]
         for request in requests
     }
+
+
+# ----------------------------------------------------------------------
+# fleet-trace-scale: sharded datacenter-scale trace simulation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetShardRequest:
+    """One pool shard of a sharded trace simulation.
+
+    A shard is a complete, independent fleet cell: its slice of the
+    arrival stream (global job ids preserved), its ``pool_size``-worker
+    slice of the physical pool and its share of every hardware tier.
+    Determinism comes for free — the shard's identity is a pure
+    function of its stream slice and configuration, so the executor
+    can run shards inline (``jobs=1``) or across worker processes
+    (``jobs=N``) with bit-identical cell payloads.
+    """
+
+    scenario: str
+    shard_index: int
+    n_shards: int
+    trace: tuple[JobRequest, ...]
+    pool_size: int
+    scheduler: str
+    sync_policy: str
+    seed: int = 0
+    resim: str = "exact"
+    tiers: tuple[WorkerTier, ...] | None = None
+    validate: bool = False
+
+    def key(self, scale: float) -> str:
+        """Cache key of this shard cell (the dedup identity)."""
+        return digest_key(
+            {
+                "kind": "fleet-shard",
+                "scenario": self.scenario,
+                "shard_index": self.shard_index,
+                "n_shards": self.n_shards,
+                "trace": [request.to_dict() for request in self.trace],
+                "pool_size": self.pool_size,
+                "scheduler": self.scheduler,
+                "sync_policy": self.sync_policy,
+                "seed": self.seed,
+                "scale": scale,
+                "resim": self.resim,
+                "tiers": (
+                    None
+                    if self.tiers is None
+                    else [tier.to_dict() for tier in self.tiers]
+                ),
+            }
+        )
+
+    def config(self, scale: float) -> FleetConfig:
+        """The simulator configuration for this shard.
+
+        The ``/shard-N`` scenario suffix gives every shard its own
+        contention RNG stream (derived from the scenario name), so a
+        shard's events never depend on how many sibling shards exist
+        in the same process.
+        """
+        return FleetConfig(
+            scenario=f"{self.scenario}/shard-{self.shard_index}",
+            scheduler=self.scheduler,
+            sync_policy=self.sync_policy,
+            seed=self.seed,
+            scale=scale,
+            trace=self.trace,
+            pool_size=self.pool_size,
+            resim=self.resim,
+            tiers=self.tiers,
+            validate=self.validate,
+        )
+
+
+def shard_worker_tiers(
+    tiers: tuple[WorkerTier, ...] | None, n_shards: int
+) -> tuple[WorkerTier, ...] | None:
+    """Split fleet-wide hardware tiers evenly across pool shards."""
+    if not tiers:
+        return None
+    for tier in tiers:
+        if tier.count % n_shards:
+            raise ConfigurationError(
+                f"tier {tier.name!r} has {tier.count} workers; not "
+                f"divisible across {n_shards} shards"
+            )
+    return tuple(
+        replace(tier, count=tier.count // n_shards) for tier in tiers
+    )
+
+
+def run_trace_scale(
+    scenario: str = "trace",
+    scheduler: str = "slo",
+    sync_policy: str = "sync-switch",
+    seed: int = 0,
+    scale: float = DEFAULT_FLEET_SCALE,
+    n_jobs: int | None = None,
+    shards: int | None = None,
+    pool_size: int | None = None,
+    tiers: tuple[WorkerTier, ...] | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    resim: str = "exact",
+    validate: bool = False,
+) -> tuple[FleetSummary, list[dict]]:
+    """Serve a datacenter-scale trace on a sharded heterogeneous pool.
+
+    Generates the scenario's trace stream once, deterministically
+    partitions it into ``shards`` independent pool shards
+    (:func:`~repro.fleet.workload.assign_shards`), simulates each shard
+    as its own fleet cell through the
+    :class:`~repro.experiments.executor.ParallelExecutor` (``jobs``
+    worker processes, shared disk cache) and recombines the shard
+    summaries with
+    :func:`~repro.fleet.metrics.merge_fleet_summaries`.  The merged
+    summary is bit-identical at any ``jobs`` count — the acceptance
+    property the trace-scale goldens pin.
+
+    Returns ``(merged_summary, shard_rows)`` where ``shard_rows`` has
+    one compact per-shard telemetry dict per shard (empty shards
+    included, with zeroed aggregates).
+    """
+    if scenario not in TRACE_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown trace scenario {scenario!r}; known: "
+            f"{sorted(TRACE_SCENARIOS)}"
+        )
+    base = TRACE_SCENARIOS[scenario]
+    n_shards = shards if shards is not None else base.shards
+    if n_shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    pool = pool_size if pool_size is not None else base.pool_size
+    if pool % n_shards:
+        raise ConfigurationError(
+            f"pool size {pool} not divisible into {n_shards} shards"
+        )
+    per_pool = pool // n_shards
+    if tiers is None:
+        tiers = default_worker_tiers(pool)
+    shard_tiers = shard_worker_tiers(tiers, n_shards)
+    stream = trace_stream(
+        base, scale, seed, n_jobs=n_jobs, sync_policy=sync_policy
+    )
+    demand = max(request.n_workers for request in stream)
+    if demand > per_pool:
+        raise ConfigurationError(
+            f"largest job demands {demand} workers but each of "
+            f"{n_shards} shards only has {per_pool}"
+        )
+    shard_streams = assign_shards(stream, n_shards, seed)
+    requests = {
+        index: FleetShardRequest(
+            scenario=scenario,
+            shard_index=index,
+            n_shards=n_shards,
+            trace=shard_stream,
+            pool_size=per_pool,
+            scheduler=scheduler,
+            sync_policy=sync_policy,
+            seed=seed,
+            resim=resim,
+            tiers=shard_tiers,
+            validate=validate,
+        )
+        for index, shard_stream in enumerate(shard_streams)
+        if shard_stream
+    }
+    executor = ParallelExecutor(
+        scale=scale,
+        cache_dir=resolve_cache_dir(cache_dir),
+        jobs=jobs,
+        cell_fn=_execute_fleet_cell,
+        decode=FleetSummary.from_dict,
+    )
+    results = executor.execute(list(requests.values()))
+    summaries = {
+        index: results[request.key(scale)]
+        for index, request in requests.items()
+    }
+    merged = merge_fleet_summaries(
+        summaries.values(), scenario=scenario, pool_size=pool
+    )
+    shard_rows = []
+    for index in range(n_shards):
+        summary = summaries.get(index)
+        shard_rows.append(
+            {
+                "shard": index,
+                "n_jobs": len(shard_streams[index]),
+                "pool_size": per_pool,
+                "makespan": summary.makespan if summary else 0.0,
+                "utilization": summary.utilization if summary else 0.0,
+                "mean_jct": summary.mean_jct if summary else 0.0,
+                "n_rejected": summary.n_rejected if summary else 0,
+            }
+        )
+    return merged, shard_rows
+
+
+def trace_scale_payload(
+    summary: FleetSummary,
+    shard_rows: list[dict],
+    scenario: str,
+    scheduler: str,
+    sync_policy: str,
+    scale: float,
+    seed: int,
+) -> dict:
+    """The ``results/fleet_trace_scale.json`` payload.
+
+    The merged summary without the per-job record list (thousands of
+    rows belong in the cache, not the committed artifact) plus the
+    per-tenant-tier aggregates and the per-shard telemetry.
+    """
+    headline = summary.to_dict()
+    headline.pop("jobs", None)
+    tier_rows = headline.pop("tiers", None)
+    return {
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "sync_policy": sync_policy,
+        "scale": scale,
+        "seed": seed,
+        "n_shards": len(shard_rows),
+        "summary": headline,
+        "tenant_tiers": tier_rows,
+        "shards": shard_rows,
+    }
+
+
+def write_fleet_trace_scale(
+    payload: dict, path: str | Path | None = None
+) -> Path:
+    """Persist ``results/fleet_trace_scale.json``."""
+    target = Path(path) if path is not None else DEFAULT_TRACE_SCALE_PATH
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def fleet_trace_scale_report(payload: dict) -> Report:
+    """Render a :func:`trace_scale_payload` as the trace-scale report."""
+    summary = payload["summary"]
+    rows = [
+        {
+            "group": f"tier {row['tier']}",
+            "jobs": row["n_jobs"],
+            "completed": row["n_completed"],
+            "rejected": row["n_rejected"],
+            "mean_jct_s": row["mean_jct"],
+            "p95_jct_s": row["p95_jct"],
+            "makespan_s": row["makespan"],
+            "slo_attained": row["slo_attainment"],
+        }
+        for row in payload["tenant_tiers"] or ()
+    ]
+    for row in payload["shards"]:
+        rows.append(
+            {
+                "group": f"shard {row['shard']}",
+                "jobs": row["n_jobs"],
+                "completed": None,
+                "rejected": row["n_rejected"],
+                "mean_jct_s": row["mean_jct"],
+                "p95_jct_s": None,
+                "makespan_s": row["makespan"],
+                "slo_attained": None,
+            }
+        )
+    return Report(
+        ident=f"Fleet trace scale ({payload['scenario']})",
+        title=(
+            "Datacenter-scale trace on a heterogeneous, sharded pool: "
+            "per-tenant-tier and per-shard aggregates"
+        ),
+        columns=[
+            "group",
+            "jobs",
+            "completed",
+            "rejected",
+            "mean_jct_s",
+            "p95_jct_s",
+            "makespan_s",
+            "slo_attained",
+        ],
+        rows=rows,
+        notes=[
+            f"{summary['n_jobs']} jobs over {payload['n_shards']} pool "
+            f"shard(s) of {payload['shards'][0]['pool_size']} workers; "
+            f"fleet utilization {summary['utilization']:.3f}",
+            "diurnal sinusoidal arrivals, bounded-Pareto job sizes, "
+            "prod/batch/dev tenant mix with prod deadlines (see "
+            "docs/architecture.md, Trace-scale sharding)",
+            "shards simulate independently and merge deterministically: "
+            "the summary is bit-identical at any --procs count",
+        ],
+    )
+
+
+def fleet_trace_scale_artifact(runner: ExperimentRunner) -> Report:
+    """The ``fleet-trace-scale`` entry of the artifact registry.
+
+    Serves :data:`DEFAULT_TRACE_SCALE_JOBS` trace jobs over
+    :data:`DEFAULT_TRACE_SCALE_SHARDS` pool shards at
+    :data:`DEFAULT_FLEET_SCALE` under the SLO scheduler (the trace's
+    prod tier carries deadlines) and refreshes
+    ``results/fleet_trace_scale.json`` — ``python -m repro report
+    fleet-trace-scale`` regenerates the committed artifact exactly.
+    Not prefetchable as training cells.
+    """
+    if runner.is_collecting:
+        raise CollectionComplete
+    summary, shard_rows = run_trace_scale(
+        scenario="trace",
+        scheduler="slo",
+        n_jobs=DEFAULT_TRACE_SCALE_JOBS,
+        shards=DEFAULT_TRACE_SCALE_SHARDS,
+        scale=DEFAULT_FLEET_SCALE,
+        jobs=runner.jobs,
+        cache_dir=runner.cache_dir if runner.cache_dir is not None else "off",
+    )
+    payload = trace_scale_payload(
+        summary,
+        shard_rows,
+        scenario="trace",
+        scheduler="slo",
+        sync_policy="sync-switch",
+        scale=DEFAULT_FLEET_SCALE,
+        seed=0,
+    )
+    target = write_fleet_trace_scale(payload)
+    report = fleet_trace_scale_report(payload)
+    report.notes.append(f"trace-scale artifact refreshed at {target}")
+    return report
 
 
 # ----------------------------------------------------------------------

@@ -46,6 +46,7 @@ __all__ = [
     "ENGINES",
     "bench_engine",
     "bench_fig5b_cell",
+    "bench_fleet_trace_cell",
     "calibration_score",
     "run_hotpath_bench",
     "check_regression",
@@ -191,6 +192,31 @@ def bench_fig5b_cell(scale: float = 0.01, seed: int = 0) -> float:
         return time.perf_counter() - start
 
 
+def bench_fleet_trace_cell(
+    n_jobs: int = 32, shards: int = 2, seed: int = 0
+) -> float:
+    """Uncached wall-clock seconds of a small sharded trace-fleet run.
+
+    Runs ``n_jobs`` jobs of the datacenter ``trace`` scenario through
+    :func:`~repro.experiments.fleet.run_trace_scale` (heterogeneous
+    pool, shard merge, invariant checker off) with caching disabled —
+    the per-job unit of work the 10k-job fleet-scale runs repeat.
+    """
+    # Imported here: pulls in the fleet package, which the lightweight
+    # engine benchmarks do not need.
+    from repro.experiments.fleet import run_trace_scale
+
+    start = time.perf_counter()
+    run_trace_scale(
+        n_jobs=n_jobs,
+        shards=shards,
+        seed=seed,
+        jobs=1,
+        cache_dir="off",
+    )
+    return time.perf_counter() - start
+
+
 def calibration_score(repeats: int = 5) -> float:
     """Machine speed proxy: best matmul throughput of a fixed workload.
 
@@ -235,6 +261,9 @@ def run_hotpath_bench(quick: bool = False, fig5b_scale: float = 0.01) -> dict:
         },
         "engines": engines,
         "fig5b_cell_s": bench_fig5b_cell(scale=fig5b_scale),
+        "fleet_trace_cell_s": bench_fleet_trace_cell(
+            n_jobs=16 if quick else 32
+        ),
         "calibration": calibration_score(),
         "machine": {
             "python": sys.version.split()[0],
@@ -302,6 +331,12 @@ def speedup_payload(baseline: dict, optimized: dict) -> dict:
         speedup["fig5b_cell"] = (
             baseline["fig5b_cell_s"] / optimized["fig5b_cell_s"]
         )
+    if baseline.get("fleet_trace_cell_s") and optimized.get(
+        "fleet_trace_cell_s"
+    ):
+        speedup["fleet_trace_cell"] = (
+            baseline["fleet_trace_cell_s"] / optimized["fleet_trace_cell_s"]
+        )
     return {
         "version": 1,
         "workload": optimized["workload"],
@@ -309,11 +344,13 @@ def speedup_payload(baseline: dict, optimized: dict) -> dict:
         "baseline": {
             "engines": baseline["engines"],
             "fig5b_cell_s": baseline.get("fig5b_cell_s"),
+            "fleet_trace_cell_s": baseline.get("fleet_trace_cell_s"),
             "calibration": baseline.get("calibration"),
         },
         "optimized": {
             "engines": optimized["engines"],
             "fig5b_cell_s": optimized.get("fig5b_cell_s"),
+            "fleet_trace_cell_s": optimized.get("fleet_trace_cell_s"),
             "calibration": optimized.get("calibration"),
         },
         "speedup": speedup,
@@ -337,6 +374,11 @@ def render_hotpath_report(payload: dict) -> str:
             f"in {entry['elapsed_s']:.2f}s)"
         )
     lines.append(f"  fig5b cell  : {payload['fig5b_cell_s']:.2f}s cold-cache")
+    if payload.get("fleet_trace_cell_s") is not None:
+        lines.append(
+            "  fleet trace : "
+            f"{payload['fleet_trace_cell_s']:.2f}s for a sharded trace cell"
+        )
     lines.append(f"  calibration : {payload['calibration']:.1f} matmul-iter/s")
     return "\n".join(lines)
 

@@ -29,9 +29,11 @@ from repro.errors import ConfigurationError
 __all__ = [
     "ExperimentSetup",
     "SETUPS",
+    "TRACE_STEP_FLOOR",
     "default_scale",
     "default_seeds",
     "scaled_job",
+    "scaled_steps",
 ]
 
 #: Base learning rate shared by all workloads.  The paper uses 0.1 for
@@ -164,11 +166,40 @@ def default_seeds() -> int:
     return seeds
 
 
-def scaled_job(setup: ExperimentSetup, scale: float, seed: int) -> JobConfig:
+#: Step floor for size-scaled trace jobs.  The regular 400-step floor
+#: keeps single-job experiments meaningful, but a heavy-tailed trace
+#: workload needs genuinely small jobs — bounding them below at one
+#: learning-rate-decay-free sprint keeps the engine's segment logic
+#: exercised without flattening the Pareto head into one size.
+TRACE_STEP_FLOOR = 48
+
+
+def scaled_steps(
+    setup: ExperimentSetup, scale: float, steps_scale: float = 1.0
+) -> int:
+    """Step budget of ``setup`` at ``scale``, optionally size-scaled.
+
+    ``steps_scale`` is the per-job size multiplier of trace workloads
+    (bounded-Pareto samples); at exactly 1.0 this reproduces the
+    :func:`scaled_job` budget bit for bit, including its 400-step
+    floor, while size-scaled jobs floor at :data:`TRACE_STEP_FLOOR`.
+    """
+    if steps_scale <= 0.0:
+        raise ConfigurationError("steps_scale must be positive")
+    floor = 400 if steps_scale == 1.0 else TRACE_STEP_FLOOR
+    return max(int(round(setup.paper_steps * scale * steps_scale)), floor)
+
+
+def scaled_job(
+    setup: ExperimentSetup,
+    scale: float,
+    seed: int,
+    steps_scale: float = 1.0,
+) -> JobConfig:
     """The job config for ``setup`` at ``scale`` with one seed."""
     if not 0.0 < scale <= 1.0:
         raise ConfigurationError("scale must be in (0, 1]")
-    steps = max(int(round(setup.paper_steps * scale)), 400)
+    steps = scaled_steps(setup, scale, steps_scale)
     return JobConfig(
         model=setup.model,
         dataset=setup.dataset,

@@ -19,7 +19,13 @@ from repro.fleet.fleet_sim import (
     WorkerPool,
     simulate_fleet,
 )
-from repro.fleet.metrics import FleetSummary, JobRecord, summarize_fleet
+from repro.fleet.metrics import (
+    FleetSummary,
+    JobRecord,
+    merge_fleet_summaries,
+    percentile,
+    summarize_fleet,
+)
 from repro.fleet.policy_store import (
     STORE_FORMAT_VERSION,
     ClassPolicy,
@@ -40,25 +46,34 @@ from repro.fleet.scheduler import (
 )
 from repro.fleet.tuning import ScheduleSearchSession, TimingSearchSession
 from repro.fleet.workload import (
+    DEFAULT_TENANT_TIERS,
     FLEET_SCENARIOS,
     JOB_KINDS,
     SYNC_POLICIES,
+    TRACE_SCENARIOS,
     FleetScenario,
     JobRequest,
+    TenantTier,
+    TraceScenario,
+    assign_shards,
+    bounded_pareto,
     estimate_service_time,
     load_trace,
     poisson_stream,
     resolve_percent,
     save_trace,
+    trace_stream,
 )
 
 __all__ = [
+    "DEFAULT_TENANT_TIERS",
     "FLEET_SCENARIOS",
     "JOB_KINDS",
     "RESIM_MODES",
     "SCHEDULERS",
     "STORE_FORMAT_VERSION",
     "SYNC_POLICIES",
+    "TRACE_SCENARIOS",
     "BestFitScheduler",
     "ClassPolicy",
     "FifoScheduler",
@@ -75,11 +90,17 @@ __all__ = [
     "SchedulerPolicy",
     "SloAwareScheduler",
     "SmallestJobFirstScheduler",
+    "TenantTier",
     "TimingSearchSession",
+    "TraceScenario",
     "WorkerPool",
+    "assign_shards",
+    "bounded_pareto",
     "estimate_service_time",
     "load_trace",
     "make_scheduler",
+    "merge_fleet_summaries",
+    "percentile",
     "poisson_stream",
     "policy_from_schedule_search",
     "policy_from_search",
@@ -87,4 +108,5 @@ __all__ = [
     "save_trace",
     "simulate_fleet",
     "summarize_fleet",
+    "trace_stream",
 ]

@@ -70,6 +70,7 @@ an identical :class:`FleetSummary`.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.core.policies import (
@@ -80,9 +81,14 @@ from repro.core.policies import (
 )
 from repro.core.runtime import ElasticTrainingRun, SyncSwitchController
 from repro.core.search.binary_search import SearchConfig, validate_sequences
-from repro.distsim.cluster import ClusterSpec
+from repro.distsim.cluster import ClusterSpec, WorkerTier, default_worker_tiers
 from repro.distsim.engines import synchronous_protocols
-from repro.distsim.stragglers import StragglerEvent, StragglerSchedule, ambient_contention
+from repro.distsim.stragglers import (
+    StragglerEvent,
+    StragglerSchedule,
+    ambient_contention,
+    tier_slowdown,
+)
 from repro.distsim.telemetry import TrainingResult
 from repro.errors import ConfigurationError, FleetError, SearchError
 from repro.experiments.setups import SETUPS, scaled_job
@@ -103,9 +109,11 @@ from repro.fleet.scheduler import (
 from repro.fleet.tuning import ScheduleSearchSession, TimingSearchSession
 from repro.fleet.workload import (
     FLEET_SCENARIOS,
+    TRACE_SCENARIOS,
     JobRequest,
     estimate_service_time,
     poisson_stream,
+    trace_stream,
 )
 from repro.rng import child_rng, child_seed
 
@@ -174,17 +182,34 @@ class FleetConfig:
     #: runs are bit-identical to untraced ones.
     trace_detail: str | None = None
     metrics_interval: float | None = None
+    #: Heterogeneous worker tiers: None resolves the scenario default
+    #: (trace scenarios split fast/slow via
+    #: :func:`~repro.distsim.cluster.default_worker_tiers`; classic
+    #: scenarios stay uniform), an empty tuple forces a uniform pool,
+    #: and an explicit tuple must sum to the pool size.
+    tiers: tuple[WorkerTier, ...] | None = None
+    #: Debug-mode invariant checking: assert pool/queue/clock
+    #: conservation invariants at every event (see
+    #: :meth:`FleetSimulator._check_invariants`).  Also enabled
+    #: suite-wide by the ``REPRO_FLEET_VALIDATE`` environment knob.
+    validate: bool = False
 
     def __post_init__(self):
         if self.resim not in RESIM_MODES:
             raise ConfigurationError(
                 f"unknown resim mode {self.resim!r}; known: {RESIM_MODES}"
             )
-        if self.trace is None and self.scenario not in FLEET_SCENARIOS:
+        if (
+            self.trace is None
+            and self.scenario not in FLEET_SCENARIOS
+            and self.scenario not in TRACE_SCENARIOS
+        ):
             raise ConfigurationError(
-                f"unknown scenario {self.scenario!r}; "
-                f"known: {sorted(FLEET_SCENARIOS)}"
+                f"unknown scenario {self.scenario!r}; known: "
+                f"{sorted(FLEET_SCENARIOS) + sorted(TRACE_SCENARIOS)}"
             )
+        if self.tiers is not None:
+            object.__setattr__(self, "tiers", tuple(self.tiers))
         if self.trace is not None and self.n_jobs is not None:
             # A trace fixes the stream; a silently ignored n_jobs would
             # still split the cache key per value.
@@ -245,13 +270,34 @@ class WorkerPool:
     (Section VI-C): every admitted job's workers come from here, and
     co-location on a worker id is what makes two jobs share the same
     contention bursts.
+
+    ``tiers`` makes the pool heterogeneous: worker ids are assigned to
+    tiers in declaration order (tier counts must sum to the pool
+    size), so with the fast tier declared first the lowest-id-first
+    allocation policy doubles as fastest-first placement.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, tiers: tuple[WorkerTier, ...] | None = None):
         if size <= 0:
             raise ConfigurationError("pool size must be positive")
         self.size = size
         self._free = list(range(size))
+        self.tiers = tuple(tiers) if tiers else ()
+        #: Tier of each worker id (empty when the pool is uniform).
+        self._tier_of: tuple[WorkerTier, ...] = ()
+        if self.tiers:
+            total = sum(tier.count for tier in self.tiers)
+            if total != size:
+                raise ConfigurationError(
+                    f"tier counts sum to {total}, pool has {size} workers"
+                )
+            names = [tier.name for tier in self.tiers]
+            if len(set(names)) != len(names):
+                raise ConfigurationError("tier names must be unique")
+            assignment: list[WorkerTier] = []
+            for tier in self.tiers:
+                assignment.extend([tier] * tier.count)
+            self._tier_of = tuple(assignment)
 
     @property
     def free_count(self) -> int:
@@ -262,6 +308,47 @@ class WorkerPool:
     def busy_count(self) -> int:
         """Number of allocated workers."""
         return self.size - len(self._free)
+
+    @property
+    def free_workers(self) -> tuple[int, ...]:
+        """Sorted ids of the unallocated workers (invariant checking)."""
+        return tuple(sorted(self._free))
+
+    def tier_of(self, worker: int) -> WorkerTier | None:
+        """Hardware tier of one worker id (None on a uniform pool)."""
+        if not self._tier_of:
+            return None
+        if not 0 <= worker < self.size:
+            raise FleetError(f"worker {worker} does not exist")
+        return self._tier_of[worker]
+
+    def speed_factor(self, worker: int) -> float:
+        """Step-time multiplier of one worker (1.0 on a uniform pool)."""
+        tier = self.tier_of(worker)
+        return tier.speed_factor if tier is not None else 1.0
+
+    def bandwidth_factor(self, worker: int) -> float:
+        """Provisioning-cost multiplier of one worker id."""
+        tier = self.tier_of(worker)
+        return tier.bandwidth_factor if tier is not None else 1.0
+
+    def placement_slowdown(self, count: int) -> float:
+        """Step-time slowdown a ``count``-worker allocation would see.
+
+        The workers a job would get are the ``count`` lowest free ids
+        (the allocation policy); synchronous training is bounded by the
+        slowest of them, so this is their *worst* speed factor.  Falls
+        back to the pool's overall best-case placement when fewer than
+        ``count`` workers are free (the job cannot be admitted yet, but
+        SLO triage still wants a feasibility estimate), and is exactly
+        1.0 on a uniform pool.
+        """
+        if not self._tier_of:
+            return 1.0
+        candidates = sorted(self._free)[:count]
+        if len(candidates) < count:
+            candidates = list(range(min(count, self.size)))
+        return max(self.speed_factor(worker) for worker in candidates)
 
     def allocate(self, count: int) -> tuple[int, ...]:
         """Take the ``count`` lowest free worker ids."""
@@ -433,6 +520,17 @@ class FleetSimulator:
             default_pool = (
                 max(request.n_workers for request in self.stream) * 2
             )
+        elif config.scenario in TRACE_SCENARIOS:
+            base = TRACE_SCENARIOS[config.scenario]
+            self.scenario_name = base.name
+            self.stream = trace_stream(
+                base,
+                config.scale,
+                config.seed,
+                n_jobs=config.n_jobs,
+                sync_policy=config.sync_policy,
+            )
+            default_pool = base.pool_size
         else:
             base = FLEET_SCENARIOS[config.scenario]
             self.scenario_name = base.name
@@ -456,9 +554,18 @@ class FleetSimulator:
                     f"job {request.job_id} demands {request.n_workers} "
                     f"workers but the pool only has {self.pool_size}"
                 )
-        self.pool = WorkerPool(self.pool_size)
+        if config.tiers is not None:
+            tiers = config.tiers or None  # empty tuple forces uniform
+        elif config.trace is None and config.scenario in TRACE_SCENARIOS:
+            tiers = default_worker_tiers(self.pool_size)
+        else:
+            tiers = None
+        self.pool = WorkerPool(self.pool_size, tiers)
         self.scheduler: SchedulerPolicy = make_scheduler(config.scheduler)
         self.contention = self._fleet_contention()
+        self._validate = config.validate or os.environ.get(
+            "REPRO_FLEET_VALIDATE", "0"
+        ) not in ("", "0")
         if self.store is None:
             self.store = PolicyStore()
         self._heap: list[tuple[float, int, int, object]] = []
@@ -512,6 +619,8 @@ class FleetSimulator:
                 else:
                     self._complete(job, now)
             self._schedule(now)
+            if self._validate:
+                self._check_invariants(now)
         if self._queue or self._running or self._sessions:
             raise FleetError(
                 f"stream ended with {len(self._queue)} queued, "
@@ -540,6 +649,8 @@ class FleetSimulator:
         heapq.heappush(self._heap, (time, priority, self._seq, payload))
 
     def _advance(self, now: float) -> None:
+        if self._validate:
+            self._check_invariants(now)
         self._busy_seconds += self.pool.busy_count * (now - self._last_time)
         self._last_time = now
         metrics = self.metrics
@@ -574,6 +685,7 @@ class FleetSimulator:
             scale=self.config.scale,
             store=self.store,
             preemptible=self._preemptible_surplus(),
+            pool=self.pool,
             tracer=self.tracer,
         )
         rejected, degraded = self.scheduler.triage(
@@ -772,6 +884,7 @@ class FleetSimulator:
                 tuned=False,
                 degraded=False,
                 outcome="rejected",
+                tier=request.tier,
             )
         )
         self._degraded.pop(request.job_id, None)
@@ -972,6 +1085,7 @@ class FleetSimulator:
                 outcome="completed",
                 allocations=tuple(job.allocations),
                 staleness=dict(result.staleness),
+                tier=job.request.tier,
             )
         )
         if job.request.kind == "search-trial":
@@ -1196,6 +1310,7 @@ class FleetSimulator:
             stragglers=self._job_stragglers(workers, now),
             ambient_noise=self.config.ambient,
             overhead_time_scale=self.config.scale,
+            overhead_bandwidth=self._job_bandwidth(workers),
             tracer=tracer,
         )
         return controller.run_job().result
@@ -1230,6 +1345,7 @@ class FleetSimulator:
             stragglers=self._job_stragglers(workers, now),
             ambient_noise=self.config.ambient,
             overhead_time_scale=self.config.scale,
+            overhead_bandwidth=self._job_bandwidth(workers),
             tracer=tracer,
         )
         if sim.run_to_tail() == "finished":
@@ -1257,7 +1373,7 @@ class FleetSimulator:
         seed = child_seed(
             self.config.seed, f"fleet/job/{request.job_id}"
         ) % (2**31)
-        job = scaled_job(setup, self.config.scale, seed)
+        job = scaled_job(setup, self.config.scale, seed, request.steps_scale)
         if schedule is not None:
             protocols, fractions = schedule
             policies = PolicyManager(
@@ -1272,26 +1388,125 @@ class FleetSimulator:
             )
         return job, policies
 
+    def _job_bandwidth(self, workers: tuple[int, ...]) -> float:
+        """Provisioning bandwidth multiplier for one allocation.
+
+        Checkpoint/reconfigure/restart traffic crosses every assigned
+        worker's link, so the allocation pays the *worst* (max)
+        bandwidth factor among them; exactly 1.0 on a uniform pool, so
+        homogeneous runs keep their bit-identical overhead arithmetic.
+        """
+        if not self.pool.tiers:
+            return 1.0
+        return max(self.pool.bandwidth_factor(worker) for worker in workers)
+
+    def _check_invariants(self, now: float) -> None:
+        """Conservation invariants checked at every event when enabled.
+
+        The fleet-wide safety net behind ``FleetConfig(validate=True)``
+        (and the ``REPRO_FLEET_VALIDATE`` environment knob): the
+        simulated clock never runs backwards, the physical pool is
+        exactly partitioned between free workers and running jobs (no
+        double allocation, per-tier capacity respected), no job is
+        simultaneously queued and running, and every running job's
+        allocation sits between the preemption floor and its demand.
+        """
+        if now < self._last_time - 1e-9:
+            raise FleetError(
+                f"fleet clock moved backwards: {now} < {self._last_time}"
+            )
+        allocated: list[int] = []
+        for job in self._running.values():
+            allocated.extend(job.workers)
+        if len(allocated) != len(set(allocated)):
+            raise FleetError("worker allocated to two running jobs at once")
+        if sorted(allocated + list(self.pool.free_workers)) != list(
+            range(self.pool.size)
+        ):
+            raise FleetError(
+                "pool partition violated: free + allocated != pool"
+            )
+        if self.pool.tiers:
+            used: dict[str, int] = {}
+            for worker in allocated:
+                name = self.pool.tier_of(worker).name
+                used[name] = used.get(name, 0) + 1
+            for tier in self.pool.tiers:
+                if used.get(tier.name, 0) > tier.count:
+                    raise FleetError(
+                        f"tier {tier.name!r} over-allocated: "
+                        f"{used[tier.name]} > {tier.count}"
+                    )
+        overlap = {
+            request.job_id for request in self._queue
+        } & set(self._running)
+        if overlap:
+            raise FleetError(
+                f"job(s) {sorted(overlap)} both queued and running"
+            )
+        floor = self.config.preemption_floor
+        for job in self._running.values():
+            count = len(job.workers)
+            if count > job.demand:
+                raise FleetError(
+                    f"job {job.request.job_id} holds {count} workers "
+                    f"above its demand {job.demand}"
+                )
+            if count < min(floor, job.demand):
+                raise FleetError(
+                    f"job {job.request.job_id} shrunk to {count} workers, "
+                    f"below the preemption floor {floor}"
+                )
+
     def _fleet_contention(self) -> StragglerSchedule | None:
-        """Pool-wide contention events shared by co-located jobs."""
-        if not self.config.contention:
+        """Pool-wide contention events shared by co-located jobs.
+
+        Two event populations compose by schedule merge: transient
+        ambient bursts (``config.contention``) and permanent hardware
+        slowdowns of heterogeneous tiers — a slow-tier worker is a
+        straggler that never recovers, so per-job slicing and resume
+        re-slicing treat both uniformly.
+        """
+        hardware = [
+            tier_slowdown(worker, tier.speed_factor, tier.extra_latency)
+            for worker in range(self.pool.size)
+            for tier in (self.pool.tier_of(worker),)
+            if tier is not None
+            and (tier.speed_factor > 1.0 or tier.extra_latency > 0.0)
+        ]
+        ambient = None
+        if self.config.contention:
+            last_arrival = max(
+                (request.arrival for request in self.stream), default=0.0
+            )
+            longest = max(
+                estimate_service_time(
+                    request.setup_index,
+                    100.0,
+                    self.config.scale,
+                    request.steps_scale,
+                )
+                for request in self.stream
+            )
+            horizon = last_arrival + 3.0 * longest
+            ambient = ambient_contention(
+                self.pool_size,
+                horizon,
+                child_rng(
+                    self.config.seed,
+                    f"fleet/{self.scenario_name}/contention",
+                ),
+                mean_interval=horizon / 6.0,
+                mean_duration=max(horizon / 50.0, 0.5),
+                slow_factor=3.0,
+            )
+        if ambient is None and not hardware:
             return None
-        last_arrival = max(
-            (request.arrival for request in self.stream), default=0.0
-        )
-        longest = max(
-            estimate_service_time(request.setup_index, 100.0, self.config.scale)
-            for request in self.stream
-        )
-        horizon = last_arrival + 3.0 * longest
-        return ambient_contention(
-            self.pool_size,
-            horizon,
-            child_rng(self.config.seed, f"fleet/{self.scenario_name}/contention"),
-            mean_interval=horizon / 6.0,
-            mean_duration=max(horizon / 50.0, 0.5),
-            slow_factor=3.0,
-        )
+        if not hardware:
+            return ambient
+        if ambient is None:
+            return StragglerSchedule(hardware)
+        return ambient.merged_with(StragglerSchedule(hardware))
 
     def _job_stragglers(
         self,

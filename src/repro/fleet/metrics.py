@@ -30,7 +30,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["JobRecord", "FleetSummary", "summarize_fleet"]
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "JobRecord",
+    "FleetSummary",
+    "summarize_fleet",
+    "merge_fleet_summaries",
+    "percentile",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +85,9 @@ class JobRecord:
     #: (``{"mean", "p50", "p95", "max"}``); None for rejected jobs and
     #: payloads cached before staleness surfaced in fleet records.
     staleness: dict | None = None
+    #: Tenant tier of trace-workload jobs (``"prod"``/``"batch"``/...);
+    #: None for classic scenario streams and legacy payloads.
+    tier: str | None = None
 
     @property
     def jct(self) -> float:
@@ -131,8 +142,13 @@ class JobRecord:
         return tuple(spans)
 
     def to_dict(self) -> dict:
-        """Plain-python dict for JSON caching."""
-        return {
+        """Plain-python dict for JSON caching.
+
+        The ``tier`` key appears only when set: classic-scenario
+        payloads keep their historical byte shape, which the fleet
+        golden hashes pin.
+        """
+        payload = {
             "job_id": self.job_id,
             "setup_index": self.setup_index,
             "sync_policy": self.sync_policy,
@@ -157,6 +173,9 @@ class JobRecord:
                 dict(self.staleness) if self.staleness is not None else None
             ),
         }
+        if self.tier is not None:
+            payload["tier"] = self.tier
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobRecord":
@@ -217,10 +236,60 @@ class FleetSummary:
     staleness_p50: float = 0.0
     staleness_p95: float = 0.0
     staleness_max: float = 0.0
+    #: Per-tenant-tier aggregate rows (trace workloads): one dict per
+    #: tier name seen in the records, with JCT/SLO/makespan aggregates
+    #: over that tier's jobs.  None when no record carries a tier, so
+    #: classic-scenario payloads keep their historical byte shape.
+    tiers: tuple[dict, ...] | None = None
+
+    def jobs_in(
+        self, tier: str | None = None, kind: str | None = None
+    ) -> tuple[JobRecord, ...]:
+        """Completed jobs filtered by tenant tier and/or job kind."""
+        return tuple(
+            record
+            for record in self.jobs
+            if record.outcome == "completed"
+            and (tier is None or record.tier == tier)
+            and (kind is None or record.kind == kind)
+        )
+
+    def jct_percentile(
+        self, fraction: float, tier: str | None = None
+    ) -> float | None:
+        """Nearest-rank JCT percentile of a (possibly empty) job group.
+
+        Returns None — never raises — when no completed job matches,
+        e.g. a tenant tier whose every job was rejected, or a tier name
+        absent from this shard.
+        """
+        return percentile(
+            [record.jct for record in self.jobs_in(tier=tier)], fraction
+        )
+
+    def attainment(self, tier: str | None = None) -> tuple[float | None, int]:
+        """SLO attainment of one tier (or all jobs): ``(fraction, n)``.
+
+        ``n`` counts the group's deadline-carrying stream jobs;
+        ``fraction`` is the share of them that finished in time, or
+        None when the group has no deadline jobs (0-count, not an
+        error).
+        """
+        deadline_jobs = [
+            record
+            for record in self.jobs
+            if record.deadline is not None
+            and record.kind == "train"
+            and (tier is None or record.tier == tier)
+        ]
+        if not deadline_jobs:
+            return None, 0
+        met = sum(1 for record in deadline_jobs if record.met_deadline)
+        return met / len(deadline_jobs), len(deadline_jobs)
 
     def to_dict(self) -> dict:
         """Plain-python dict for JSON caching and the results artifact."""
-        return {
+        payload = {
             "scenario": self.scenario,
             "scheduler": self.scheduler,
             "sync_policy": self.sync_policy,
@@ -252,6 +321,9 @@ class FleetSummary:
             "staleness_p95": self.staleness_p95,
             "staleness_max": self.staleness_max,
         }
+        if self.tiers is not None:
+            payload["tiers"] = [dict(row) for row in self.tiers]
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "FleetSummary":
@@ -262,14 +334,26 @@ class FleetSummary:
         )
         if payload.get("tuning") is not None:
             payload["tuning"] = tuple(dict(row) for row in payload["tuning"])
+        if payload.get("tiers") is not None:
+            payload["tiers"] = tuple(dict(row) for row in payload["tiers"])
         return cls(**payload)
 
 
-def _percentile(values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of a non-empty sorted sample."""
+def percentile(values: list[float], fraction: float) -> float | None:
+    """Nearest-rank percentile of a sample; None on an empty one.
+
+    Empty groups are ordinary at trace scale (a tier with every job
+    rejected, a shard without deadline jobs), so the empty case is a
+    None result, not an IndexError.
+    """
+    if not values:
+        return None
     ordered = sorted(values)
     rank = max(math.ceil(fraction * len(ordered)) - 1, 0)
     return ordered[min(rank, len(ordered) - 1)]
+
+
+_percentile = percentile
 
 
 def summarize_fleet(
@@ -315,6 +399,53 @@ def summarize_fleet(
     staleness_rows = [
         record.staleness for record in completed if record.staleness
     ]
+    tier_names = sorted(
+        {record.tier for record in ordered if record.tier is not None}
+    )
+    tier_rows: tuple[dict, ...] | None = None
+    if tier_names:
+        rows = []
+        for name in tier_names:
+            members = [record for record in ordered if record.tier == name]
+            done = [
+                record for record in members if record.outcome == "completed"
+            ]
+            tier_jcts = [record.jct for record in done]
+            tier_deadline = [
+                record
+                for record in members
+                if record.deadline is not None and record.kind == "train"
+            ]
+            tier_met = sum(
+                1 for record in tier_deadline if record.met_deadline
+            )
+            rows.append(
+                {
+                    "tier": name,
+                    "n_jobs": len(members),
+                    "n_completed": len(done),
+                    "n_rejected": sum(
+                        1
+                        for record in members
+                        if record.outcome == "rejected"
+                    ),
+                    "mean_jct": (
+                        sum(tier_jcts) / len(tier_jcts) if tier_jcts else 0.0
+                    ),
+                    "p95_jct": percentile(tier_jcts, 0.95),
+                    "max_jct": max(tier_jcts, default=0.0),
+                    "makespan": max(
+                        (record.finish for record in done), default=0.0
+                    ),
+                    "n_deadline_jobs": len(tier_deadline),
+                    "slo_attainment": (
+                        tier_met / len(tier_deadline)
+                        if tier_deadline
+                        else None
+                    ),
+                }
+            )
+        tier_rows = tuple(rows)
     return FleetSummary(
         scenario=scenario,
         scheduler=scheduler,
@@ -364,4 +495,67 @@ def summarize_fleet(
         staleness_max=max(
             (row.get("max", 0.0) for row in staleness_rows), default=0.0
         ),
+        tiers=tier_rows,
+    )
+
+
+def merge_fleet_summaries(
+    summaries, scenario: str | None = None, pool_size: int | None = None
+) -> FleetSummary:
+    """Recombine independent pool-shard summaries into one fleet view.
+
+    The sharded trace simulation runs each pool shard as its own fleet
+    (deterministic job->shard assignment, disjoint worker pools, global
+    job ids); this fold concatenates their records and re-summarizes
+    over the combined pool.  The merged pool size is the sum of shard
+    pools and the busy-worker-seconds are reconstructed per shard from
+    ``utilization x pool x makespan`` (the exact inverse of how each
+    shard computed utilization), so the merge is a pure function of the
+    shard summaries — identical whether the shards ran inline or in
+    worker processes.  ``scenario`` defaults to the first shard's name
+    with its ``/shard-N`` suffix stripped; ``pool_size`` overrides the
+    summed shard pools (pass the full fleet pool when empty shards were
+    skipped — their idle capacity still existed).
+    """
+    parts = list(summaries)
+    if not parts:
+        raise ConfigurationError("no shard summaries to merge")
+    first = parts[0]
+    for part in parts[1:]:
+        ours = (part.scheduler, part.sync_policy, part.seed, part.scale)
+        theirs = (first.scheduler, first.sync_policy, first.seed, first.scale)
+        if ours != theirs:
+            raise ConfigurationError(
+                "shards disagree on scheduler/sync_policy/seed/scale: "
+                f"{ours} != {theirs}"
+            )
+        if part.tuning is not None or first.tuning is not None:
+            raise ConfigurationError(
+                "tuned shards cannot be merged (per-shard policy stores "
+                "would double-count amortization)"
+            )
+    records = [record for part in parts for record in part.jobs]
+    ids = [record.job_id for record in records]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError(
+            "shards share job ids; the merge would double-count them"
+        )
+    busy = sum(
+        part.utilization * part.pool_size * part.makespan for part in parts
+    )
+    if scenario is None:
+        scenario = first.scenario.split("/shard-")[0]
+    return summarize_fleet(
+        scenario=scenario,
+        scheduler=first.scheduler,
+        sync_policy=first.sync_policy,
+        seed=first.seed,
+        scale=first.scale,
+        pool_size=(
+            pool_size
+            if pool_size is not None
+            else sum(part.pool_size for part in parts)
+        ),
+        records=records,
+        busy_worker_seconds=busy,
     )

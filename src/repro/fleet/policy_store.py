@@ -333,7 +333,9 @@ class PolicyStore:
                 if count > 0:
                     return total / count
                 return policy.policy_time
-        return estimate_service_time(request.setup_index, 100.0, scale)
+        return estimate_service_time(
+            request.setup_index, 100.0, scale, request.steps_scale
+        )
 
     def realized_service_mean(self, job_class: JobClass) -> float | None:
         """Mean realized tuned service time (None before any recurrence)."""

@@ -66,6 +66,12 @@ class SchedulerContext:
     scale: float = 1.0
     store: PolicyStore | None = None
     preemptible: int = 0
+    #: The fleet's :class:`~repro.fleet.fleet_sim.WorkerPool` (None in
+    #: bare unit-test contexts).  Heterogeneous pools expose tiered
+    #: capacity through it: placement-aware policies ask
+    #: ``pool.placement_slowdown(count)`` what a ``count``-worker
+    #: allocation would cost in step-time terms.
+    pool: object | None = None
     #: Observability sink for decision rationale (never affects the
     #: decision itself); the fleet passes its live tracer when on.
     tracer: object = NULL_TRACER
@@ -150,7 +156,10 @@ class SmallestJobFirstScheduler(SchedulerPolicy):
             queue,
             key=lambda request: (
                 estimate_service_time(
-                    request.setup_index, request.percent, scale
+                    request.setup_index,
+                    request.percent,
+                    scale,
+                    request.steps_scale,
                 ),
                 request.arrival,
                 request.job_id,
@@ -299,10 +308,23 @@ class SloAwareScheduler(SchedulerPolicy):
 
     @staticmethod
     def _predict(request, scale, context) -> float:
-        """Predicted service time (store-backed, never raises)."""
+        """Predicted service time (store-backed, never raises).
+
+        On a heterogeneous pool the prediction is stretched by the
+        step-time slowdown of the workers the job would actually get
+        (lowest-free-first placement): a deadline feasible on the fast
+        tier can be infeasible when only edge workers are free.
+        """
         if context.store is not None:
-            return context.store.predict_service(request, scale)
-        return estimate_service_time(request.setup_index, 100.0, scale)
+            predicted = context.store.predict_service(request, scale)
+        else:
+            predicted = estimate_service_time(
+                request.setup_index, 100.0, scale, request.steps_scale
+            )
+        pool = context.pool
+        if pool is not None:
+            predicted *= pool.placement_slowdown(request.n_workers)
+        return predicted
 
     @staticmethod
     def _is_tuned(request, context) -> bool:

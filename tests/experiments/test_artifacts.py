@@ -24,6 +24,7 @@ def test_artifact_registry_covers_every_paper_artifact():
         "fleet-resim",  # beyond the paper: stretch-vs-exact tail deltas
         "fleet-search",  # beyond the paper: amortized in-fleet tuning
         "fleet-trace",  # beyond the paper: traced-run metrics timeline
+        "fleet-trace-scale",  # beyond the paper: sharded datacenter trace
     }
     assert set(ARTIFACTS) == expected
 

@@ -223,22 +223,27 @@ def _regenerate() -> None:
     }
     import numpy as np
 
+    # Read-modify-write: other suites (tests/fleet/test_trace_scale.py)
+    # keep their own top-level sections in the same goldens file.
+    payload = (
+        json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        if GOLDEN_PATH.exists()
+        else {}
+    )
+    payload.update(
+        {
+            "scenario": "rush",
+            "scheduler": "fifo",
+            "sync_policy": "sync-switch",
+            "seed": 0,
+            "scale": SCALE,
+            "numpy": np.__version__,
+            "hashes": hashes,
+        }
+    )
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(
-        json.dumps(
-            {
-                "scenario": "rush",
-                "scheduler": "fifo",
-                "sync_policy": "sync-switch",
-                "seed": 0,
-                "scale": SCALE,
-                "numpy": np.__version__,
-                "hashes": hashes,
-            },
-            indent=2,
-        )
-        + "\n",
-        encoding="utf-8",
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
     print(f"wrote {GOLDEN_PATH}")
     for name, value in hashes.items():

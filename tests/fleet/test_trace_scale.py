@@ -1,0 +1,181 @@
+"""Shard-merge determinism goldens for the datacenter trace scenario.
+
+Pins the trace-scale acceptance criteria:
+
+* the merged sharded summary is **bit-identical** whether the shards
+  run inline (``jobs=1``) or in worker processes (``jobs=4``) — full
+  ``to_dict`` equality plus a sha256 golden hash committed under the
+  ``trace_scale`` section of ``tests/data/fleet_golden_hashes.json``;
+* the unsharded trace scenario (``FleetConfig(scenario="trace")``,
+  heterogeneous default pool) is bit-stable too.
+
+Like the resim goldens, set ``REPRO_GOLDEN_SKIP=1`` on machines whose
+BLAS rounds differently.  Regenerate after an intentional numeric
+change (the hook only rewrites this file's section)::
+
+    PYTHONPATH=src python tests/fleet/test_trace_scale.py regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fleet import run_trace_scale
+from repro.fleet import FleetConfig, FleetSummary, simulate_fleet
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parents[1] / "data" / "fleet_golden_hashes.json"
+)
+GOLDEN_KEY = "trace_scale"
+SCENARIO = "trace"
+N_JOBS = 16
+SHARDS = 4
+UNSHARDED_JOBS = 6
+SEED = 0
+
+
+def summary_hash(summary: FleetSummary) -> str:
+    payload = json.dumps(summary.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _skip_unless_golden_machine():
+    if os.environ.get("REPRO_GOLDEN_SKIP", "") not in ("", "0"):
+        pytest.skip("REPRO_GOLDEN_SKIP set (BLAS float bits differ here)")
+
+
+def _merged(jobs: int):
+    """One full sharded run, cache off so every cell really recomputes.
+
+    A shared cache would make the jobs=4 run replay the jobs=1 run's
+    cells and the equality below would be vacuous.
+    """
+    return run_trace_scale(
+        scenario=SCENARIO,
+        seed=SEED,
+        n_jobs=N_JOBS,
+        shards=SHARDS,
+        jobs=jobs,
+        cache_dir="off",
+    )
+
+
+def _unsharded() -> FleetSummary:
+    return simulate_fleet(
+        FleetConfig(scenario=SCENARIO, seed=SEED, n_jobs=UNSHARDED_JOBS)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return _merged(jobs=1)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return _merged(jobs=4)
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    data = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert GOLDEN_KEY in data, (
+        f"missing {GOLDEN_KEY!r} section in {GOLDEN_PATH}; regenerate "
+        "with `PYTHONPATH=src python tests/fleet/test_trace_scale.py regen`"
+    )
+    return data[GOLDEN_KEY]
+
+
+class TestShardedEquality:
+    def test_procs_1_equals_procs_4_bitwise(self, serial, parallel):
+        """The acceptance property: worker-process count is invisible."""
+        assert serial[0].to_dict() == parallel[0].to_dict()
+        assert serial[1] == parallel[1]
+
+    def test_merged_summary_covers_the_whole_stream(self, serial):
+        summary, shard_rows = serial
+        assert summary.n_jobs == N_JOBS
+        assert len(shard_rows) == SHARDS
+        assert sum(row["n_jobs"] for row in shard_rows) == N_JOBS
+        assert summary.pool_size == sum(
+            row["pool_size"] for row in shard_rows
+        )
+        assert summary.makespan == max(row["makespan"] for row in shard_rows)
+        assert {record.job_id for record in summary.jobs} == set(
+            range(N_JOBS)
+        )
+
+    def test_merged_summary_has_tenant_tier_rows(self, serial):
+        summary, _ = serial
+        assert summary.tiers is not None
+        names = [row["tier"] for row in summary.tiers]
+        assert names == sorted(names)
+        assert sum(row["n_jobs"] for row in summary.tiers) == N_JOBS
+
+    def test_merge_is_reproducible(self, serial):
+        again, rows = _merged(jobs=1)
+        assert again.to_dict() == serial[0].to_dict()
+        assert rows == serial[1]
+
+
+class TestCommittedGoldens:
+    def test_merged_hash(self, serial, parallel, golden):
+        _skip_unless_golden_machine()
+        expected = golden["hashes"]["merged"]
+        assert summary_hash(serial[0]) == expected, (
+            "sharded trace summary changed vs the committed golden hash "
+            "— the shard-merge timeline is no longer bit-stable"
+        )
+        assert summary_hash(parallel[0]) == expected
+
+    def test_unsharded_trace_hash(self, golden):
+        _skip_unless_golden_machine()
+        assert summary_hash(_unsharded()) == golden["hashes"]["unsharded"], (
+            "unsharded trace-scenario summary changed vs the committed "
+            "golden hash — the heterogeneous-pool timeline is no longer "
+            "bit-stable"
+        )
+
+
+def _regenerate() -> None:
+    import numpy as np
+
+    hashes = {
+        "merged": summary_hash(_merged(jobs=1)[0]),
+        "unsharded": summary_hash(_unsharded()),
+    }
+    payload = (
+        json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        if GOLDEN_PATH.exists()
+        else {}
+    )
+    payload[GOLDEN_KEY] = {
+        "scenario": SCENARIO,
+        "seed": SEED,
+        "n_jobs": N_JOBS,
+        "shards": SHARDS,
+        "unsharded_n_jobs": UNSHARDED_JOBS,
+        "numpy": np.__version__,
+        "hashes": hashes,
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {GOLDEN_PATH} [{GOLDEN_KEY}]")
+    for name, value in hashes.items():
+        print(f"  {name}: {value}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 2 and sys.argv[1] == "regen":
+        _regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)

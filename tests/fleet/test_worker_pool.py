@@ -1,0 +1,122 @@
+"""Tests for heterogeneous worker tiers and the fleet invariant checker."""
+
+import pytest
+
+from repro.distsim.cluster import WorkerTier, default_worker_tiers
+from repro.distsim.stragglers import PERMANENT_DURATION, tier_slowdown
+from repro.errors import ConfigurationError, FleetError
+from repro.fleet import FleetConfig, FleetSimulator, WorkerPool
+
+
+FAST = WorkerTier(name="fast", count=4)
+SLOW = WorkerTier(
+    name="slow", count=4, speed_factor=1.35, bandwidth_factor=1.6
+)
+
+
+class TestWorkerTier:
+    def test_defaults_are_neutral(self):
+        tier = WorkerTier(name="t", count=2)
+        assert tier.speed_factor == 1.0
+        assert tier.bandwidth_factor == 1.0
+        assert tier.extra_latency == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerTier(name="", count=2)
+        with pytest.raises(ConfigurationError):
+            WorkerTier(name="t", count=0)
+        with pytest.raises(ConfigurationError):
+            WorkerTier(name="t", count=2, speed_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkerTier(name="t", count=2, bandwidth_factor=-1.0)
+        with pytest.raises(ConfigurationError):
+            WorkerTier(name="t", count=2, extra_latency=-0.1)
+
+    def test_round_trip(self):
+        assert WorkerTier.from_dict(SLOW.to_dict()) == SLOW
+
+    def test_default_split_covers_the_pool(self):
+        tiers = default_worker_tiers(10)
+        assert sum(tier.count for tier in tiers) == 10
+        assert tiers[0].name == "fast" and tiers[0].speed_factor == 1.0
+        assert tiers[1].speed_factor > 1.0
+
+    def test_tier_slowdown_is_permanent(self):
+        event = tier_slowdown(3, 1.35, 0.002)
+        assert event.worker == 3
+        assert event.start == 0.0
+        assert event.duration == PERMANENT_DURATION
+        assert event.slow_factor == 1.35
+        assert event.extra_latency == 0.002
+
+
+class TestWorkerPool:
+    def test_tiers_assign_id_ranges_in_declaration_order(self):
+        pool = WorkerPool(8, tiers=(FAST, SLOW))
+        assert [pool.tier_of(w).name for w in range(8)] == (
+            ["fast"] * 4 + ["slow"] * 4
+        )
+        assert pool.speed_factor(0) == 1.0
+        assert pool.speed_factor(7) == 1.35
+        assert pool.bandwidth_factor(7) == 1.6
+
+    def test_uniform_pool_is_neutral(self):
+        pool = WorkerPool(8)
+        assert pool.tier_of(3) is None
+        assert pool.speed_factor(3) == 1.0
+        assert pool.placement_slowdown(8) == 1.0
+
+    def test_tier_counts_must_sum_to_pool(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(9, tiers=(FAST, SLOW))
+        with pytest.raises(ConfigurationError):
+            WorkerPool(8, tiers=(FAST, FAST))  # duplicate names
+
+    def test_placement_slowdown_tracks_free_frontier(self):
+        pool = WorkerPool(8, tiers=(FAST, SLOW))
+        assert pool.placement_slowdown(4) == 1.0  # all-fast placement
+        assert pool.placement_slowdown(5) == 1.35  # spills into slow
+        taken = pool.allocate(4)  # the fast ids
+        assert taken == (0, 1, 2, 3)
+        assert pool.placement_slowdown(2) == 1.35  # only slow ids left
+        pool.release(taken)
+        assert pool.placement_slowdown(2) == 1.0
+
+    def test_placement_slowdown_infeasible_falls_back(self):
+        pool = WorkerPool(8, tiers=(FAST, SLOW))
+        pool.allocate(6)
+        # 4 demanded, 2 free: estimate from the best-case pool prefix.
+        assert pool.placement_slowdown(4) == 1.0
+
+
+class TestInvariantChecker:
+    def test_clean_run_passes(self):
+        summary = FleetSimulator(
+            FleetConfig(scenario="rush", n_jobs=2, validate=True)
+        ).run()
+        assert summary.n_jobs == 2
+
+    def test_corrupted_pool_is_caught(self):
+        simulator = FleetSimulator(
+            FleetConfig(scenario="rush", n_jobs=2, validate=True)
+        )
+        simulator.pool.allocate(3)  # workers busy that no job owns
+        with pytest.raises(FleetError):
+            simulator.run()
+
+    def test_backwards_clock_is_caught(self):
+        simulator = FleetSimulator(
+            FleetConfig(scenario="rush", n_jobs=2, validate=True)
+        )
+        simulator._last_time = 1e12
+        with pytest.raises(FleetError):
+            simulator.run()
+
+    def test_validate_flag_does_not_change_results(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_VALIDATE", raising=False)
+        plain = FleetSimulator(FleetConfig(scenario="rush", n_jobs=3)).run()
+        checked = FleetSimulator(
+            FleetConfig(scenario="rush", n_jobs=3, validate=True)
+        ).run()
+        assert plain.to_dict() == checked.to_dict()
