@@ -1,0 +1,79 @@
+"""``repro.analysis`` — the determinism & invariant static analyzer.
+
+An AST rule engine behind ``python -m repro lint``: machine-checks the
+conventions the reproduction's bit-identity guarantees rest on.
+
+* **D001** — randomness only through :mod:`repro.rng` child streams.
+* **D002** — no wall-clock reads in simulated code.
+* **D003** — no unordered-set iteration in simulation modules.
+* **D004** — request-dataclass cache keys consume every field
+  (semantic: fields via :mod:`dataclasses`, key reads via AST).
+* **D005** — engines draw RNG only via the per-worker session
+  accessors.
+
+See ``docs/static_analysis.md`` for the rule catalog (with the past
+incident each rule prevents), the suppression-comment syntax and the
+ratchet-baseline workflow.
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    RatchetResult,
+    ratchet,
+)
+from repro.analysis.dataclass_keys import (
+    DEFAULT_TARGETS,
+    CacheKeyCompletenessRule,
+    CacheKeyTarget,
+    check_class,
+)
+from repro.analysis.framework import (
+    RULE_REGISTRY,
+    FileContext,
+    Finding,
+    LintReport,
+    ProjectRule,
+    Rule,
+    analyze_paths,
+    default_rules,
+    register,
+    repo_root,
+    suppressed_lines,
+)
+from repro.analysis.report import json_payload, render_text, write_json_report
+from repro.analysis.rules import (
+    DirectRngRule,
+    EngineSharedRngRule,
+    SetIterationRule,
+    WallClockRule,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CacheKeyCompletenessRule",
+    "CacheKeyTarget",
+    "DEFAULT_TARGETS",
+    "DirectRngRule",
+    "EngineSharedRngRule",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "ProjectRule",
+    "RULE_REGISTRY",
+    "RatchetResult",
+    "Rule",
+    "SetIterationRule",
+    "WallClockRule",
+    "analyze_paths",
+    "check_class",
+    "default_rules",
+    "json_payload",
+    "ratchet",
+    "register",
+    "render_text",
+    "repo_root",
+    "suppressed_lines",
+    "write_json_report",
+]

@@ -1,0 +1,156 @@
+"""Ratchet baseline for ``repro lint``.
+
+The committed baseline (``tests/data/lint_baseline.json``) is the
+ratchet: findings recorded there are tolerated, anything *new* fails
+the gate, and an entry whose finding has been fixed is reported as
+**stale** (and also fails) so the baseline can only shrink.  Entries
+match findings on the line-free :meth:`Finding.identity` — rule, path
+and message — as a multiset, so refactors that move a tolerated
+finding to another line pass while a second occurrence of the same
+message in the same file is still new.
+
+Every entry carries a free-text ``note`` explaining *why* it is
+tolerated; :meth:`Baseline.save` refuses noteless entries to keep the
+committed file self-documenting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.framework import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "RatchetResult", "ratchet"]
+
+BASELINE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One tolerated finding: its ratchet identity plus a why-note."""
+
+    rule: str
+    path: str
+    message: str
+    note: str = ""
+
+    def identity(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, str]) -> "BaselineEntry":
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            message=payload["message"],
+            note=payload.get("note", ""),
+        )
+
+    def render(self) -> str:
+        return f"{self.path}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Baseline:
+    """The committed set of tolerated findings."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported lint baseline version {version!r} in {path}"
+            )
+        return cls(
+            entries=tuple(
+                BaselineEntry.from_dict(entry)
+                for entry in payload.get("entries", [])
+            )
+        )
+
+    def save(self, path: Path) -> Path:
+        """Write the baseline JSON (entries sorted, notes required)."""
+        noteless = [entry for entry in self.entries if not entry.note]
+        if noteless:
+            raise ValueError(
+                "baseline entries need a note explaining why they are "
+                "tolerated: "
+                + "; ".join(entry.render() for entry in sorted(noteless))
+            )
+        payload = {
+            "version": BASELINE_FORMAT_VERSION,
+            "entries": [entry.to_dict() for entry in sorted(self.entries)],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], note: str
+    ) -> "Baseline":
+        """A baseline tolerating exactly ``findings`` (one shared note)."""
+        return cls(
+            entries=tuple(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    note=note,
+                )
+                for finding in sorted(findings)
+            )
+        )
+
+
+@dataclass
+class RatchetResult:
+    """Findings split against the baseline: new fail, stale also fail."""
+
+    new: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+    matched: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def ratchet(findings: list[Finding], baseline: Baseline) -> RatchetResult:
+    """Split ``findings`` against ``baseline`` as identity multisets."""
+    allowance = Counter(entry.identity() for entry in baseline.entries)
+    result = RatchetResult()
+    for finding in sorted(findings):
+        identity = finding.identity()
+        if allowance.get(identity, 0) > 0:
+            allowance[identity] -= 1
+            result.matched += 1
+        else:
+            result.new.append(finding)
+    if result.matched < len(baseline.entries):
+        for entry in sorted(baseline.entries):
+            identity = entry.identity()
+            if allowance.get(identity, 0) > 0:
+                allowance[identity] -= 1
+                result.stale.append(entry)
+    return result

@@ -1,0 +1,113 @@
+"""Text and JSON rendering of ``repro lint`` results.
+
+The text form is one ``file:line: rule: message`` line per finding
+(editor-clickable); the JSON form is the stable machine schema CI
+uploads as an artifact::
+
+    {
+      "version": 1,
+      "root": "...",
+      "files_scanned": 87,
+      "rules": {"D001": "direct RNG ...", ...},
+      "findings": [{"rule", "path", "line", "message"}, ...],
+      "summary": {"D001": 2, ...},
+      "ratchet": {"baseline": "...", "matched": 1,
+                  "new": [...], "stale": [...]} | null
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.baseline import RatchetResult
+from repro.analysis.framework import LintReport, Rule
+
+__all__ = ["json_payload", "render_text", "write_json_report"]
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(
+    report: LintReport,
+    result: RatchetResult | None = None,
+) -> str:
+    """Human-readable lint output.
+
+    Without a ratchet result: every finding.  With one: only the
+    gate-relevant findings (new ones and stale baseline entries), plus
+    a one-line verdict.
+    """
+    lines: list[str] = []
+    if result is None:
+        for finding in report.all_findings:
+            lines.append(finding.render())
+        lines.append(
+            f"{len(report.all_findings)} finding(s) in "
+            f"{report.files_scanned} file(s)"
+        )
+        return "\n".join(lines)
+    for finding in sorted(report.parse_errors):
+        lines.append(finding.render())
+    for finding in result.new:
+        lines.append(finding.render())
+    for entry in result.stale:
+        lines.append(
+            f"{entry.path}: {entry.rule}: stale baseline entry (the "
+            f"finding was fixed — remove it): {entry.message}"
+        )
+    verdict_ok = result.clean and not report.parse_errors
+    lines.append(
+        "lint check ok: "
+        f"{report.files_scanned} file(s), {result.matched} baselined "
+        "finding(s), 0 new"
+        if verdict_ok
+        else "lint check FAILED: "
+        f"{len(result.new)} new finding(s), {len(result.stale)} stale "
+        f"baseline entr(ies), {len(report.parse_errors)} parse error(s)"
+    )
+    return "\n".join(lines)
+
+
+def json_payload(
+    report: LintReport,
+    rules: tuple[Rule, ...],
+    result: RatchetResult | None = None,
+    baseline_path: Path | None = None,
+) -> dict[str, object]:
+    """The machine-readable report (schema above)."""
+    findings = report.all_findings
+    payload: dict[str, object] = {
+        "version": JSON_FORMAT_VERSION,
+        "root": str(report.root),
+        "files_scanned": report.files_scanned,
+        "rules": {rule.id: rule.title for rule in rules},
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": dict(
+            sorted(Counter(finding.rule for finding in findings).items())
+        ),
+    }
+    if result is None:
+        payload["ratchet"] = None
+    else:
+        payload["ratchet"] = {
+            "baseline": (
+                str(baseline_path) if baseline_path is not None else None
+            ),
+            "matched": result.matched,
+            "new": [finding.to_dict() for finding in result.new],
+            "stale": [entry.to_dict() for entry in result.stale],
+        }
+    return payload
+
+
+def write_json_report(payload: dict[str, object], path: Path) -> Path:
+    """Write the JSON report (creating parent directories)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -14,6 +14,8 @@ simulator:
   stream through the deadline-aware scheduler.
 * ``sync-switch bench`` — hot-path steps/sec benchmark with an optional
   regression check against the committed baseline.
+* ``sync-switch lint`` — AST-based determinism & invariant analyzer
+  (rules D001–D005) with a ratcheted baseline gate.
 * ``sync-switch list`` — show setups, artifacts and fleet scenarios.
 
 The full flag reference lives in ``docs/cli.md`` (CI checks it stays
@@ -23,6 +25,7 @@ in sync with this parser).
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from pathlib import Path
@@ -357,6 +360,52 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BASELINE",
         help="combine a previously saved BASELINE payload with this run "
         "into the committed speedup artifact",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based determinism & invariant analyzer "
+        "(rules D001-D005, ratcheted baseline)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files or directories to analyze (default: the src/ tree)",
+    )
+    lint.add_argument(
+        "--check",
+        action="store_true",
+        help="ratchet mode: exit 1 on any finding not in the baseline "
+        "and on stale baseline entries (the CI gate)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="ratchet baseline JSON "
+        "(default tests/data/lint_baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to tolerate exactly the current "
+        "findings (each entry still needs a why-note before commit)",
+    )
+    lint.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable JSON report here "
+        "(the CI artifact)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule subset to run (e.g. D001,D004; "
+        "default: all registered rules)",
     )
 
     sub.add_parser("list", help="show setups, artifacts and fleet scenarios")
@@ -975,6 +1024,86 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """The ``lint`` command: analyze, ratchet against the baseline.
+
+    Without ``--check`` every finding prints (exit 0, informational);
+    with it the committed baseline is applied and any new finding,
+    stale baseline entry or parse error exits 1.  The heavy imports
+    live in :mod:`repro.analysis`, loaded here on demand.
+    """
+    from repro.analysis import (
+        Baseline,
+        analyze_paths,
+        default_rules,
+        json_payload,
+        ratchet,
+        render_text,
+        repo_root,
+        write_json_report,
+    )
+    from repro.analysis.framework import resolve_lint_root
+
+    try:
+        rules = default_rules(
+            [part.strip() for part in args.rules.split(",") if part.strip()]
+            if args.rules
+            else None
+        )
+    except ValueError as exc:
+        _LOG.error("error: %s", exc)
+        return 2
+    paths = (
+        [Path(entry) for entry in args.paths]
+        if args.paths
+        else [repo_root() / "src"]
+    )
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        _LOG.error(
+            "error: no such path(s): %s",
+            ", ".join(str(path) for path in missing),
+        )
+        return 2
+    root = resolve_lint_root(paths, repo_root())
+    report = analyze_paths(paths, root, rules)
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else repo_root() / "tests" / "data" / "lint_baseline.json"
+    )
+    if args.write_baseline:
+        baseline = Baseline.from_findings(
+            report.all_findings, note="TODO: justify this entry"
+        )
+        try:
+            target = baseline.save(baseline_path)
+        except ValueError as exc:
+            _LOG.error("error: %s", exc)
+            return 2
+        _LOG.info("lint baseline written to %s", target)
+        return 0
+    result = None
+    if args.check:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            _LOG.error("error: bad lint baseline %s: %s", baseline_path, exc)
+            return 2
+        result = ratchet(report.findings, baseline)
+    print(render_text(report, result))
+    if args.json:
+        target = write_json_report(
+            json_payload(report, rules, result, baseline_path),
+            Path(args.json),
+        )
+        _LOG.info("lint JSON report written to %s", target)
+    if args.check:
+        assert result is not None
+        return 0 if result.clean and not report.parse_errors else 1
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("experiment setups:")
     for index in sorted(SETUPS):
@@ -1014,6 +1143,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "fleet": _cmd_fleet,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

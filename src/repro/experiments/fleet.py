@@ -189,8 +189,8 @@ class FleetRunRequest:
     #: set, so pre-existing cache entries keep their identities.
     tiers: tuple[WorkerTier, ...] | None = None
     #: Invariant checking in the worker (never affects the summary, so
-    #: it is not part of the cache key).
-    validate: bool = False
+    #: it is deliberately not part of the cache key).
+    validate: bool = False  # repro-lint: disable=D004
 
     def key(self, scale: float) -> str:
         """Cache key of this cell at ``scale`` (the dedup identity)."""
@@ -345,7 +345,9 @@ class FleetShardRequest:
     seed: int = 0
     resim: str = "exact"
     tiers: tuple[WorkerTier, ...] | None = None
-    validate: bool = False
+    #: Simulation-neutral (summaries are identical either way), so
+    #: deliberately keyless.
+    validate: bool = False  # repro-lint: disable=D004
 
     def key(self, scale: float) -> str:
         """Cache key of this shard cell (the dedup identity)."""

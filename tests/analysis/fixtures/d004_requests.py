@@ -1,0 +1,58 @@
+"""D004 fixture: request dataclasses with complete and incomplete keys.
+
+Loaded by the tests via ``importlib`` (the same machinery the real
+rule uses), so the classes must actually execute.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodRequest:
+    """Every field reaches the key payload."""
+
+    scenario: str
+    seed: int = 0
+
+    def key(self, scale: float) -> str:
+        return f"{self.scenario}/{self.seed}/{scale}"
+
+
+@dataclass(frozen=True)
+class BadRequest:
+    """``knob`` never reaches the key: runs varying it would alias."""
+
+    scenario: str
+    seed: int = 0
+    knob: float = 1.0
+
+    def key(self, scale: float) -> str:
+        return f"{self.scenario}/{self.seed}/{scale}"
+
+
+@dataclass(frozen=True)
+class SuppressedRequest:
+    """The keyless field is marked as deliberate."""
+
+    scenario: str
+    debug: bool = False  # repro-lint: disable=D004
+
+    def key(self, scale: float) -> str:
+        return f"{self.scenario}/{scale}"
+
+
+@dataclass(frozen=True)
+class InheritedBadRequest(GoodRequest):
+    """Field added in a subclass without extending the inherited key."""
+
+    extra: int = 0
+
+
+class NotADataclass:
+    def key(self, scale: float) -> str:
+        return str(scale)
+
+
+@dataclass(frozen=True)
+class NoKeyRequest:
+    scenario: str = "x"

@@ -1,0 +1,20 @@
+"""D001 negative fixture: annotations, locals and repro.rng routing."""
+
+import numpy as np
+
+from repro.rng import child_rng, make_rng
+
+
+def draw(seed: int) -> np.ndarray:
+    generator: np.random.Generator = make_rng(seed)  # annotation, no call
+    child = child_rng(seed, "noise")
+    return generator.normal(size=3) + child.normal(size=3)
+
+
+class random:  # a *local* class named random must not be mistaken
+    @staticmethod
+    def random() -> float:
+        return 0.5
+
+
+value = random.random()  # no import binding -> not the stdlib module

@@ -1,0 +1,8 @@
+"""Suppression fixture: inline disables silence D001 per line."""
+
+import numpy as np
+
+a = np.random.default_rng(0)  # repro-lint: disable=D001
+b = np.random.default_rng(1)  # repro-lint: disable=D001,D002
+c = np.random.default_rng(2)  # repro-lint: disable
+d = np.random.default_rng(3)  # repro-lint: disable=D002  (wrong rule)

@@ -1,0 +1,12 @@
+"""D001 positive fixture: direct RNG use in library code."""
+
+import random
+import numpy as np
+from numpy.random import default_rng
+from random import shuffle
+
+rng = np.random.default_rng(7)  # finding: alias np -> numpy
+sample = np.random.normal(0.0, 1.0)  # finding: module-level distribution
+coin = random.random()  # finding: stdlib random
+other = default_rng(1)  # finding: from-import of numpy.random
+shuffle([1, 2, 3])  # finding: from-import of stdlib random

@@ -1,0 +1,16 @@
+"""D002 negative fixture: virtual-clock code with no wall-time reads."""
+
+
+class SimClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def time(clock: SimClock) -> float:
+    return clock.now  # a *local* callable named time is not the module
+
+
+current = time(SimClock())

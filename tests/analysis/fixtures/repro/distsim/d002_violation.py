@@ -1,0 +1,10 @@
+"""D002 positive fixture: wall-clock reads inside simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+started = time.time()  # finding
+elapsed = perf_counter()  # finding: from-import alias
+stamp = datetime.now()  # finding: from-import of datetime.datetime
+nanos = time.monotonic_ns()  # finding

@@ -1,0 +1,11 @@
+"""D003 negative fixture: order-insensitive or sorted set consumption."""
+
+workers = {3, 1, 2}
+
+for worker in sorted({3, 1, 2}):  # sorted launders the order
+    pass
+
+count = len(set([1, 2]))  # order-insensitive consumers are fine
+fastest = min({4, 5})
+present = 3 in workers  # membership tests never observe order
+every = all(w > 0 for w in sorted(workers))

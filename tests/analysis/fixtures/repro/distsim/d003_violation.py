@@ -1,0 +1,16 @@
+"""D003 positive fixture: unordered-set iteration in simulation code."""
+
+workers = {3, 1, 2}
+
+for worker in workers | {4}:  # not flagged: plain name (type unknown)
+    pass
+
+for worker in {3, 1, 2}:  # finding: set literal
+    pass
+
+for worker in set([3, 1, 2]):  # finding: set(...) call
+    pass
+
+ordered = list({w for w in workers})  # finding: list(set-comprehension)
+pairs = enumerate(frozenset(workers))  # finding: enumerate(frozenset(...))
+names = [str(w) for w in {1, 2}]  # finding: comprehension over set literal

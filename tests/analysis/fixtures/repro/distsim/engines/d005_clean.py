@@ -1,0 +1,16 @@
+"""D005 negative fixture: draws via the per-worker session accessors."""
+
+
+class CleanEngine:
+    def step(self, session, worker: int) -> float:
+        rng = session.time_rng(worker)  # blessed local
+        direct = session.compression_rng(worker).integers(4)  # direct accessor
+        noise = session.time_noise(worker).draw(8)  # chunked accessor
+        return rng.normal() + float(direct) + float(noise[0])
+
+    def _compression_rng(self, session, worker: int):
+        return session.compression_rng(worker)
+
+    def compressed(self, session, worker: int) -> float:
+        helper = self._compression_rng(session, worker)  # helper accessor
+        return helper.normal()

@@ -1,0 +1,12 @@
+"""D005 positive fixture: engine draws bypassing session accessors."""
+
+
+class LeakyEngine:
+    def __init__(self, rng):
+        self.rng = rng  # a shared generator stored on the engine
+
+    def step(self, session, worker: int) -> float:
+        raw = session._time_rngs[worker]  # finding: private store access
+        jitter = self.rng.normal()  # finding: draw on shared attribute
+        noise = raw.lognormal(0.0, 0.1)  # finding: draw on unblessed local
+        return jitter + noise

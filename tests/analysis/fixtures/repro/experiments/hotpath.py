@@ -1,0 +1,5 @@
+"""D002 allowlist fixture: the perf harness may read the wall clock."""
+
+import time
+
+start = time.perf_counter()  # allowed: repro/experiments/hotpath.py is exempt

@@ -1,0 +1,5 @@
+"""D002 allowlist fixture: obs export paths may stamp wall time."""
+
+import time
+
+exported_at = time.time()  # allowed: repro/obs/ is exempt

@@ -1,0 +1,7 @@
+"""D001 exemption fixture: ``repro/rng.py`` owns default_rng."""
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)  # allowed: this file is the sanctioned wrapper

@@ -1,0 +1,16 @@
+"""Import-safe helpers shared by the analyzer tests."""
+
+from pathlib import Path
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def findings_for(root: Path, rule_ids: list[str], paths=None):
+    """Run a rule subset over a tree and return its findings."""
+    from repro.analysis import analyze_paths, default_rules
+
+    return analyze_paths(
+        paths if paths is not None else [root],
+        root,
+        default_rules(rule_ids),
+    ).findings

@@ -1,0 +1,98 @@
+"""Baseline ratchet behavior: new fails, baselined passes, fixed goes stale."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding, ratchet
+
+
+def finding(message="direct call", path="repro/x.py", line=3, rule="D001"):
+    return Finding(path=path, line=line, rule=rule, message=message)
+
+
+def entry(message="direct call", path="repro/x.py", rule="D001", note="ok"):
+    return BaselineEntry(rule=rule, path=path, message=message, note=note)
+
+
+def test_new_finding_is_reported():
+    result = ratchet([finding()], Baseline())
+    assert result.new == [finding()]
+    assert result.stale == []
+    assert not result.clean
+
+
+def test_baselined_finding_passes():
+    result = ratchet([finding()], Baseline(entries=(entry(),)))
+    assert result.new == []
+    assert result.stale == []
+    assert result.matched == 1
+    assert result.clean
+
+
+def test_fixed_finding_flags_stale_entry():
+    result = ratchet([], Baseline(entries=(entry(),)))
+    assert result.new == []
+    assert result.stale == [entry()]
+    assert not result.clean
+
+
+def test_line_moves_do_not_trip_the_ratchet():
+    # identity is (rule, path, message): refactors that shift the line
+    # of a tolerated finding stay tolerated.
+    result = ratchet([finding(line=120)], Baseline(entries=(entry(),)))
+    assert result.clean
+
+
+def test_multiset_semantics():
+    # one baselined occurrence + one new occurrence of the same message
+    result = ratchet(
+        [finding(line=3), finding(line=40)], Baseline(entries=(entry(),))
+    )
+    assert result.matched == 1
+    assert [f.line for f in result.new] == [40]
+    # two baselined, one found: the surplus entry is stale
+    result = ratchet(
+        [finding()], Baseline(entries=(entry(), entry(note="twice")))
+    )
+    assert result.matched == 1
+    assert len(result.stale) == 1
+
+
+def test_roundtrip_and_note_requirement(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline(entries=(entry(),)).save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == (entry(),)
+    with pytest.raises(ValueError, match="note"):
+        Baseline(entries=(entry(note=""),)).save(path)
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").entries == ()
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps({"version": 99, "entries": []}), encoding="utf-8"
+    )
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_from_findings_sorts_and_notes():
+    findings = [finding(path="repro/b.py"), finding(path="repro/a.py")]
+    baseline = Baseline.from_findings(findings, note="historic")
+    assert [e.path for e in baseline.entries] == ["repro/a.py", "repro/b.py"]
+    assert all(e.note == "historic" for e in baseline.entries)
+
+
+def test_committed_baseline_is_loadable_and_noted():
+    from repro.analysis import repo_root
+
+    path = repo_root() / "tests" / "data" / "lint_baseline.json"
+    baseline = Baseline.load(path)
+    # the committed ratchet stays minimal: every entry must carry a
+    # justification note (an empty baseline is the ideal state)
+    assert all(entry.note for entry in baseline.entries)

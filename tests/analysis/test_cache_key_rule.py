@@ -1,0 +1,84 @@
+"""D004 — semantic cache-key completeness over real request classes."""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis import (
+    DEFAULT_TARGETS,
+    CacheKeyCompletenessRule,
+    CacheKeyTarget,
+    check_class,
+    repo_root,
+)
+
+
+def test_complete_key_is_clean(d004_module, tmp_path):
+    assert check_class(d004_module.GoodRequest, tmp_path) == []
+
+
+def test_missing_field_is_flagged(d004_module, tmp_path):
+    findings = check_class(d004_module.BadRequest, tmp_path)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "D004"
+    assert "'knob'" in finding.message
+    assert "alias" in finding.message
+    # anchored at the field's definition line in the fixture file
+    assert finding.path.endswith("d004_requests.py")
+    assert finding.line == 27
+
+
+def test_inline_suppression_marks_deliberately_keyless(d004_module, tmp_path):
+    assert check_class(d004_module.SuppressedRequest, tmp_path) == []
+
+
+def test_inherited_key_misses_subclass_field(d004_module, tmp_path):
+    findings = check_class(d004_module.InheritedBadRequest, tmp_path)
+    assert [f.message.split("'")[1] for f in findings] == ["extra"]
+
+
+def test_non_dataclass_and_missing_key_are_reported(d004_module, tmp_path):
+    [finding] = check_class(d004_module.NotADataclass, tmp_path)
+    assert "not a dataclass" in finding.message
+    [finding] = check_class(d004_module.NoKeyRequest, tmp_path)
+    assert "no key() method" in finding.message
+
+
+# ----------------------------------------------------------------------
+# The real request classes
+# ----------------------------------------------------------------------
+
+
+def test_default_targets_are_clean():
+    rule = CacheKeyCompletenessRule()
+    assert rule.check_project(repo_root()) == []
+
+
+def test_default_targets_cover_the_fleet_requests():
+    names = {(t.module, t.class_name) for t in DEFAULT_TARGETS}
+    assert ("repro.experiments.executor", "RunRequest") in names
+    assert ("repro.experiments.fleet", "FleetRunRequest") in names
+    assert ("repro.experiments.fleet", "FleetShardRequest") in names
+
+
+def test_new_fleet_field_without_key_extension_fails():
+    """Acceptance criterion: growing FleetRunRequest without growing its
+    key() payload must produce a D004 finding (via the inherited key)."""
+    from repro.experiments.fleet import FleetRunRequest
+
+    @dataclass(frozen=True)
+    class Extended(FleetRunRequest):
+        new_knob: float = 1.0
+
+    findings = check_class(Extended, repo_root())
+    assert [f.message.split("'")[1] for f in findings] == ["new_knob"]
+    assert all(f.rule == "D004" for f in findings)
+
+
+def test_unloadable_target_is_an_error_finding(tmp_path):
+    rule = CacheKeyCompletenessRule(
+        targets=(CacheKeyTarget("repro.no_such_module", "Nope"),)
+    )
+    [finding] = rule.check_project(tmp_path)
+    assert finding.rule == "D004"
+    assert "cannot load cache-key target" in finding.message

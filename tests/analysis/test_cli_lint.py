@@ -1,0 +1,156 @@
+"""End-to-end ``repro lint`` CLI: exit codes, JSON schema, baselines.
+
+The committed fixture tree lives *inside* the repo, where the CLI
+resolves the lint root to the repo root and the ``tests/...`` relpaths
+fall outside every rule's scope.  These tests therefore copy the
+fixtures to ``tmp_path`` so they are linted as their own mini-tree,
+exactly like a user pointing ``repro lint`` at a scratch checkout.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from helpers_lint import FIXTURES
+from repro.cli import main
+
+
+@pytest.fixture()
+def fixture_copy(tmp_path):
+    target = tmp_path / "tree"
+    shutil.copytree(FIXTURES, target)
+    # the D004 fixture is import-driven, not path-driven: drop it so the
+    # copied tree exercises only the AST rules
+    (target / "d004_requests.py").unlink()
+    return target
+
+
+def test_check_clean_tree_exits_zero(capsys):
+    assert main(["lint", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "lint check ok" in out
+    assert "0 new" in out
+
+
+@pytest.mark.parametrize("rule", ["D001", "D002", "D003", "D005"])
+def test_check_fails_per_rule_on_fixture_violations(fixture_copy, rule, capsys):
+    code = main(["lint", str(fixture_copy), "--check", "--rules", rule])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "lint check FAILED" in out
+    assert f": {rule}: " in out
+
+
+def test_plain_listing_exits_zero_and_prints_findings(fixture_copy, capsys):
+    # without --check the command is informational: findings print,
+    # exit stays 0 so exploratory runs never fail a shell pipeline
+    assert main(["lint", str(fixture_copy), "--rules", "D001"]) == 0
+    out = capsys.readouterr().out
+    assert "repro/d001_violation.py:8: D001:" in out
+
+
+def test_unknown_rule_exits_two(capsys):
+    assert main(["lint", "--rules", "D999"]) == 2
+
+
+def test_missing_path_exits_two(tmp_path):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+
+
+def test_bad_baseline_exits_two(fixture_copy, tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json", encoding="utf-8")
+    code = main(
+        ["lint", str(fixture_copy), "--check", "--baseline", str(bad)]
+    )
+    assert code == 2
+
+
+def test_json_report_schema(fixture_copy, tmp_path):
+    report_path = tmp_path / "lint.json"
+    main(
+        [
+            "lint",
+            str(fixture_copy),
+            "--check",
+            "--rules",
+            "D001,D002",
+            "--json",
+            str(report_path),
+        ]
+    )
+    payload = json.loads(report_path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert payload["files_scanned"] > 0
+    assert set(payload["rules"]) == {"D001", "D002"}
+    for finding in payload["findings"]:
+        assert set(finding) == {"rule", "path", "line", "message"}
+        assert finding["rule"] in {"D001", "D002"}
+    assert payload["summary"]["D001"] >= 5
+    ratchet = payload["ratchet"]
+    assert ratchet is not None
+    assert ratchet["new"] == payload["findings"]
+    assert ratchet["matched"] == 0 and ratchet["stale"] == []
+
+
+def test_write_baseline_then_check_passes(fixture_copy, tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "lint",
+                str(fixture_copy),
+                "--rules",
+                "D001",
+                "--write-baseline",
+                "--baseline",
+                str(baseline_path),
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert all(entry["note"] for entry in payload["entries"])
+    # the freshly written baseline tolerates exactly those findings
+    assert (
+        main(
+            [
+                "lint",
+                str(fixture_copy),
+                "--check",
+                "--rules",
+                "D001",
+                "--baseline",
+                str(baseline_path),
+            ]
+        )
+        == 0
+    )
+    # ... and flags a stale entry once a violation is fixed
+    violation = fixture_copy / "repro" / "d001_violation.py"
+    violation.write_text("x = 1\n", encoding="utf-8")
+    assert (
+        main(
+            [
+                "lint",
+                str(fixture_copy),
+                "--check",
+                "--rules",
+                "D001",
+                "--baseline",
+                str(baseline_path),
+            ]
+        )
+        == 1
+    )
+
+
+def test_parse_error_fails_check(fixture_copy):
+    (fixture_copy / "repro" / "broken.py").write_text(
+        "def broken(:\n", encoding="utf-8"
+    )
+    assert (
+        main(["lint", str(fixture_copy), "--check", "--rules", "D001"]) == 1
+    )

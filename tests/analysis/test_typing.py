@@ -1,0 +1,26 @@
+"""Run mypy --strict over the analyzer, when mypy is available.
+
+The container used for tier-1 runs does not ship mypy; CI's lint job
+installs it and runs the identical command.  The configuration
+(files, strictness) lives in pyproject.toml so both paths agree.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import repo_root
+
+mypy = pytest.importorskip("mypy", reason="mypy not installed")
+
+
+def test_analysis_package_is_strict_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=repo_root(),
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
